@@ -1,0 +1,125 @@
+// Command simulate prices a training configuration on the paper's hardware
+// using the calibrated cluster model:
+//
+//	simulate -model resnet50 -batch 32768 -nodes 2048 -machine knl -epochs 90
+//
+// It prints the iteration count, per-iteration compute/communication split,
+// sustained throughput and total wall-clock, and can sweep node counts to
+// show the scaling curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+
+	var (
+		model   = flag.String("model", "resnet50", "model: alexnet | alexnet-bn | resnet50")
+		machine = flag.String("machine", "knl", "device: k20 | m40 | p100 | knl | cpu")
+		network = flag.String("network", "opa", "fabric: fdr | qdr | 10gbe | opa | nvlink")
+		algo    = flag.String("algo", "ring", "allreduce: central | tree | ring")
+		nodes   = flag.Int("nodes", 2048, "device count")
+		batch   = flag.Int("batch", 32768, "global batch size")
+		epochs  = flag.Int("epochs", 90, "epoch budget")
+		dataset = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
+		overlap = flag.Bool("overlap", false, "overlap communication with computation")
+		sweep   = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
+	)
+	flag.Parse()
+
+	var spec *models.ModelSpec
+	switch *model {
+	case "alexnet":
+		spec = models.AlexNetSpec()
+	case "alexnet-bn":
+		spec = models.AlexNetBNSpec()
+	case "resnet50":
+		spec = models.ResNet50Spec()
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+
+	var m cluster.Machine
+	switch *machine {
+	case "k20":
+		m = cluster.TeslaK20
+	case "m40":
+		m = cluster.TeslaM40
+	case "p100":
+		m = cluster.TeslaP100
+	case "knl":
+		m = cluster.KNL7250
+	case "cpu":
+		m = cluster.Xeon8160
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	var net comm.Network
+	switch *network {
+	case "fdr":
+		net = comm.MellanoxFDR
+	case "qdr":
+		net = comm.IntelQDR
+	case "10gbe":
+		net = comm.Intel10GbE
+	case "opa":
+		net = cluster.OmniPath
+	case "nvlink":
+		net = cluster.NVLinkHybrid
+	default:
+		log.Fatalf("unknown network %q", *network)
+	}
+
+	var a dist.Algorithm
+	switch *algo {
+	case "central":
+		a = dist.Central
+	case "tree":
+		a = dist.Tree
+	case "ring":
+		a = dist.Ring
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	run := func(n int) cluster.Estimate {
+		c := cluster.Cluster{Machine: m, Count: n, Network: net, Algo: a, Overlap: *overlap}
+		return cluster.Simulate(c, spec, *batch, *epochs, *dataset)
+	}
+
+	if *sweep {
+		fmt.Printf("%-8s %-12s %-12s %-12s %-12s\n", "nodes", "comp/iter", "comm/iter", "total", "img/s")
+		for n := *nodes; n <= 16**nodes && n <= *batch; n *= 2 {
+			e := run(n)
+			if e.OOM {
+				fmt.Printf("%-8d OOM\n", n)
+				continue
+			}
+			fmt.Printf("%-8d %-12.4fs %-12.4fs %-12s %-12.0f\n", n, e.CompSec, e.CommSec, e.Duration().Round(1e9), e.ImagesSec)
+		}
+		return
+	}
+
+	e := run(*nodes)
+	if e.OOM {
+		log.Fatalf("%s does not fit on %s even at batch 1", spec.Name, m.Name)
+	}
+	fmt.Printf("model:       %s (|W|=%.1fMB, %.2f GFLOPs/image)\n", spec.Name, float64(spec.WeightBytes())/1e6, float64(spec.FLOPsPerImage())/1e9)
+	fmt.Printf("cluster:     %d x %s over %s (%s allreduce)\n", *nodes, m.Name, net.Name, a)
+	fmt.Printf("batch:       %d global, %d/device (compute micro-batch %d)\n", *batch, e.LocalBatch, e.MicroBatch)
+	fmt.Printf("iterations:  %d (%d epochs of %d images)\n", e.Iterations, *epochs, *dataset)
+	fmt.Printf("iteration:   %.4fs compute + %.4fs communication\n", e.CompSec, e.CommSec)
+	fmt.Printf("throughput:  %.0f images/sec\n", e.ImagesSec)
+	fmt.Printf("total:       %s\n", e.Duration().Round(1e9))
+}

@@ -1,0 +1,48 @@
+// Command spec prints the layer-by-layer architecture tables — parameters,
+// MACs and output shapes — for the paper's models, the numbers behind
+// Table 6 and the communication analysis.
+//
+//	spec                 # summary of every model
+//	spec -model resnet50 # full layer table for one model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spec: ")
+	model := flag.String("model", "", "alexnet | alexnet-bn | resnet18 | resnet34 | resnet50 (empty = summary of all)")
+	flag.Parse()
+
+	specs := map[string]*models.ModelSpec{
+		"alexnet":    models.AlexNetSpec(),
+		"alexnet-bn": models.AlexNetBNSpec(),
+		"resnet18":   models.ResNet18Spec(),
+		"resnet34":   models.ResNet34Spec(),
+		"resnet50":   models.ResNet50Spec(),
+	}
+
+	if *model != "" {
+		s, ok := specs[*model]
+		if !ok {
+			log.Fatalf("unknown model %q", *model)
+		}
+		fmt.Print(s.String())
+		return
+	}
+
+	fmt.Printf("%-12s %14s %16s %16s %10s\n", "model", "params", "flops/image", "train flops/img", "comp/comm")
+	for _, name := range []string{"alexnet", "alexnet-bn", "resnet18", "resnet34", "resnet50"} {
+		s := specs[name]
+		fmt.Printf("%-12s %14d %16d %16d %10.1f\n",
+			name, s.ParamCount(), s.FLOPsPerImage(), s.TrainFLOPsPerImage(), s.ScalingRatio())
+	}
+	fmt.Println("\ncomp/comm is Table 6's scaling ratio: flops per image / parameters.")
+	fmt.Println("Run with -model <name> for the full layer table.")
+}

@@ -1,0 +1,211 @@
+// Package checkpoint serializes model weights and optimizer state so long
+// training runs can stop and resume bit-exactly. The format is a small
+// self-describing binary container (magic, version, named float32 sections)
+// written with encoding/binary — no external dependencies, stable across
+// platforms (little-endian on disk).
+//
+// Resuming matters for the paper's setting: the 90-epoch runs the authors
+// time are hours long even on 2048 nodes, and synchronous SGD requires all
+// replicas to restart from the same state. The tests verify that a run
+// interrupted and resumed from a checkpoint is bit-identical to an
+// uninterrupted one.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// magic identifies checkpoint files; version gates format changes.
+const (
+	magic   = 0x4c415253 // "LARS"
+	version = 1
+)
+
+// Section is one named float32 tensor in a checkpoint.
+type Section struct {
+	Name string
+	Data []float32
+}
+
+// Checkpoint is an ordered collection of named sections plus a step
+// counter, sufficient to restore model + optimizer + schedule position.
+type Checkpoint struct {
+	Step     int64
+	Sections []Section
+}
+
+// Add appends a section. Data is referenced, not copied.
+func (c *Checkpoint) Add(name string, data []float32) {
+	c.Sections = append(c.Sections, Section{Name: name, Data: data})
+}
+
+// Find returns the section with the given name, or nil.
+func (c *Checkpoint) Find(name string) []float32 {
+	for _, s := range c.Sections {
+		if s.Name == name {
+			return s.Data
+		}
+	}
+	return nil
+}
+
+// FromNetwork captures all parameter values of net.
+func FromNetwork(net *nn.Network, step int64) *Checkpoint {
+	c := &Checkpoint{Step: step}
+	for _, p := range net.Params() {
+		c.Add("param:"+p.Name, p.W.Data)
+	}
+	return c
+}
+
+// ApplyToNetwork restores parameter values into net. Every parameter must
+// be present with the right size.
+func (c *Checkpoint) ApplyToNetwork(net *nn.Network) error {
+	for _, p := range net.Params() {
+		data := c.Find("param:" + p.Name)
+		if data == nil {
+			return fmt.Errorf("checkpoint: missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.W.Data) {
+			return fmt.Errorf("checkpoint: parameter %q has %d values, model wants %d",
+				p.Name, len(data), len(p.W.Data))
+		}
+		copy(p.W.Data, data)
+	}
+	return nil
+}
+
+// Write serializes the checkpoint.
+func (c *Checkpoint) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := writeU32(magic); err != nil {
+		return err
+	}
+	if err := writeU32(version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, c.Step); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(c.Sections))); err != nil {
+		return err
+	}
+	for _, s := range c.Sections {
+		nameBytes := []byte(s.Name)
+		if err := writeU32(uint32(len(nameBytes))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(nameBytes); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(s.Data))); err != nil {
+			return err
+		}
+		for _, v := range s.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a checkpoint.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var u32 uint32
+	readU32 := func() (uint32, error) {
+		err := binary.Read(br, binary.LittleEndian, &u32)
+		return u32, err
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	v, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	c := &Checkpoint{}
+	if err := binary.Read(br, binary.LittleEndian, &c.Step); err != nil {
+		return nil, err
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxSections = 1 << 20
+	if count > maxSections {
+		return nil, fmt.Errorf("checkpoint: implausible section count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		nameLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("checkpoint: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		data := make([]float32, n)
+		raw := make([]byte, 4*int(n))
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*j:]))
+		}
+		c.Add(string(name), data)
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint to path atomically (write to temp + rename).
+func (c *Checkpoint) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a checkpoint from path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,228 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestRoundTripBytes(t *testing.T) {
+	c := &Checkpoint{Step: 42}
+	c.Add("a", []float32{1, 2, 3})
+	c.Add("b", []float32{-0.5})
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 || len(got.Sections) != 2 {
+		t.Fatalf("roundtrip: step %d sections %d", got.Step, len(got.Sections))
+	}
+	if got.Sections[0].Name != "a" || got.Sections[0].Data[2] != 3 {
+		t.Fatal("section a corrupted")
+	}
+	if got.Sections[1].Data[0] != -0.5 {
+		t.Fatal("section b corrupted")
+	}
+}
+
+// Property: arbitrary float32 payloads (including NaN bit patterns from the
+// uint32 space) survive a write/read cycle bitwise.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(step int64, bits []uint32) bool {
+		data := make([]float32, len(bits))
+		for i, b := range bits {
+			data[i] = math.Float32frombits(b)
+		}
+		c := &Checkpoint{Step: step}
+		c.Add("x", data)
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Step != step {
+			return false
+		}
+		out := got.Find("x")
+		if len(out) != len(data) {
+			return false
+		}
+		for i := range out {
+			if math.Float32bits(out[i]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage accepted as checkpoint")
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	c := &Checkpoint{Step: 1}
+	c.Add("w", make([]float32, 100))
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 12, 20, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	mk := func(seed uint64) *nn.Network {
+		return models.NewMicroAlexNet(models.MicroConfig{Classes: 4, InH: 8, Width: 4, Seed: seed})
+	}
+	src := mk(1)
+	dst := mk(2) // different init
+	c := FromNetwork(src, 7)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.ApplyToNetwork(dst); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != dp[i].W.Data[j] {
+				t.Fatalf("param %s differs after restore", sp[i].Name)
+			}
+		}
+	}
+}
+
+func TestApplyMissingParam(t *testing.T) {
+	net := models.NewMLP(models.MicroConfig{Classes: 2, InC: 1, InH: 2, InW: 2, Width: 2, Seed: 1})
+	c := &Checkpoint{}
+	if err := c.ApplyToNetwork(net); err == nil {
+		t.Fatal("missing parameters must error")
+	}
+}
+
+func TestApplySizeMismatch(t *testing.T) {
+	net := models.NewMLP(models.MicroConfig{Classes: 2, InC: 1, InH: 2, InW: 2, Width: 2, Seed: 1})
+	c := FromNetwork(net, 0)
+	c.Sections[0].Data = c.Sections[0].Data[:1]
+	if err := c.ApplyToNetwork(net); err == nil || !strings.Contains(err.Error(), "values") {
+		t.Fatalf("size mismatch not reported: %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.lars")
+	c := &Checkpoint{Step: 3}
+	c.Add("w", []float32{1.5, 2.5})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 3 || got.Find("w")[1] != 2.5 {
+		t.Fatal("file roundtrip corrupted")
+	}
+}
+
+// TestResumeIsBitIdentical is the invariant that makes checkpoints useful
+// for the paper's long synchronous runs: (train 2k steps) equals
+// (train k, checkpoint, restore, train k) bit-for-bit. Optimizer momentum
+// is saved alongside the weights via the velocity sections.
+func TestResumeIsBitIdentical(t *testing.T) {
+	r := rng.New(3)
+	x := tensor.RandNormal(r, 1, 16, 1, 4, 4)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	mk := func(seed uint64) *nn.Network {
+		return models.NewMLP(models.MicroConfig{Classes: 2, InC: 1, InH: 4, InW: 4, Width: 2, Seed: seed})
+	}
+	trainSteps := func(net *nn.Network, o *opt.SGD, steps int) {
+		var loss nn.SoftmaxCrossEntropy
+		for s := 0; s < steps; s++ {
+			logits := net.Forward(x, true)
+			loss.Forward(logits, labels)
+			net.ZeroGrad()
+			net.Backward(loss.Backward())
+			o.Step(0.05)
+		}
+	}
+
+	// Uninterrupted run.
+	netA := mk(1)
+	optA := opt.NewSGD(netA.Params(), opt.SGDConfig{Momentum: 0.9})
+	trainSteps(netA, optA, 20)
+
+	// Interrupted run: 10 steps, checkpoint weights + momentum, restore
+	// into a fresh model/optimizer, 10 more steps.
+	netB := mk(1)
+	optB := opt.NewSGD(netB.Params(), opt.SGDConfig{Momentum: 0.9})
+	trainSteps(netB, optB, 10)
+	ck := FromNetwork(netB, 10)
+	for i := range netB.Params() {
+		ck.Add("velocity:"+netB.Params()[i].Name, optB.Velocity(i).Data)
+	}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	netC := mk(99) // fresh, differently seeded
+	optC := opt.NewSGD(netC.Params(), opt.SGDConfig{Momentum: 0.9})
+	if err := loaded.ApplyToNetwork(netC); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range netC.Params() {
+		v := loaded.Find("velocity:" + p.Name)
+		if v == nil {
+			t.Fatalf("missing velocity for %s", p.Name)
+		}
+		copy(optC.Velocity(i).Data, v)
+	}
+	trainSteps(netC, optC, 10)
+
+	pa, pc := netA.Params(), netC.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pc[i].W.Data[j] {
+				t.Fatalf("resumed run diverged at %s[%d]: %v vs %v",
+					pa[i].Name, j, pc[i].W.Data[j], pa[i].W.Data[j])
+			}
+		}
+	}
+}

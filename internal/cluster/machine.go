@@ -1,0 +1,128 @@
+// Package cluster implements the performance simulator that regenerates the
+// paper's wall-clock results (Tables 1, 2, 8, 9 and Figures 3 and 7) without
+// the authors' hardware.
+//
+// The model is the same one the paper itself reasons with (Table 2):
+//
+//	iterations = E·n/B
+//	iterTime   = t_comp(localBatch) + t_comm(P, |W|)
+//	total      = iterations · iterTime
+//
+// t_comp comes from a per-device profile — peak single-precision FLOPS
+// derated by a batch-efficiency curve eff(b) = E∞·b/(b+h) (the saturating
+// shape of Figure 3) — and t_comm from the alpha-beta allreduce costs in
+// internal/comm. E∞ and h are calibrated per (device, model family) against
+// the paper's own published runs; EXPERIMENTS.md records the residual error
+// for every anchor row. Device memory limits model Figure 3's out-of-memory
+// point and force micro-batching for oversized local batches.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+)
+
+// Profile is one batch-efficiency curve: achieved fraction of peak FLOPS is
+// EffInf·b/(b+HalfBatch) for per-device batch b.
+type Profile struct {
+	EffInf    float64
+	HalfBatch float64
+}
+
+// Efficiency evaluates the curve at per-device batch b.
+func (p Profile) Efficiency(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return p.EffInf * b / (b + p.HalfBatch)
+}
+
+// Machine describes one compute device.
+type Machine struct {
+	Name string
+	// PeakFLOPS is the single-precision peak (the paper compares devices
+	// on this basis: P100 10.6 TFLOPS, KNL 6 TFLOPS).
+	PeakFLOPS float64
+	// MemoryBytes is the device memory available for weights, activations
+	// and convolution workspace.
+	MemoryBytes int64
+	// Families maps a model family ("alexnet", "resnet", "default") to its
+	// calibrated efficiency curve on this device.
+	Families map[string]Profile
+}
+
+// ProfileFor returns the efficiency curve for a model name, falling back to
+// the "default" family.
+func (m Machine) ProfileFor(modelName string) Profile {
+	name := strings.ToLower(modelName)
+	for fam, p := range m.Families {
+		if fam != "default" && strings.Contains(name, fam) {
+			return p
+		}
+	}
+	if p, ok := m.Families["default"]; ok {
+		return p
+	}
+	panic(fmt.Sprintf("cluster: machine %s has no profile for %q", m.Name, modelName))
+}
+
+// The paper's devices. Efficiency curves are calibrated against the
+// publication's own timing anchors (see package comment); peaks and memory
+// are the published device specs.
+var (
+	// TeslaK20 is the FireCaffe-era GPU of Table 8's first row.
+	TeslaK20 = Machine{
+		Name: "NVIDIA K20", PeakFLOPS: 3.52e12, MemoryBytes: 5 << 30,
+		Families: map[string]Profile{
+			"alexnet": {EffInf: 0.45, HalfBatch: 130},
+			"resnet":  {EffInf: 0.30, HalfBatch: 12},
+			"default": {EffInf: 0.35, HalfBatch: 64},
+		},
+	}
+	// TeslaM40 is Figure 3's device and the paper's "14 days" baseline.
+	TeslaM40 = Machine{
+		Name: "NVIDIA M40", PeakFLOPS: 6.8e12, MemoryBytes: 12 << 30,
+		Families: map[string]Profile{
+			"alexnet": {EffInf: 0.95, HalfBatch: 130},
+			"resnet":  {EffInf: 0.40, HalfBatch: 12},
+			"default": {EffInf: 0.5, HalfBatch: 64},
+		},
+	}
+	// TeslaP100 is the DGX-1 / Facebook device (10.6 TFLOPS per the paper).
+	TeslaP100 = Machine{
+		Name: "NVIDIA P100", PeakFLOPS: 10.6e12, MemoryBytes: 16 << 30,
+		Families: map[string]Profile{
+			"alexnet": {EffInf: 0.95, HalfBatch: 130},
+			"resnet":  {EffInf: 0.578, HalfBatch: 12},
+			"default": {EffInf: 0.6, HalfBatch: 64},
+		},
+	}
+	// KNL7250 is the Stampede-2 Xeon Phi (6 TFLOPS per the paper).
+	KNL7250 = Machine{
+		Name: "Intel KNL 7250", PeakFLOPS: 6.0e12, MemoryBytes: 192 << 30,
+		Families: map[string]Profile{
+			"alexnet": {EffInf: 0.586, HalfBatch: 100},
+			"resnet":  {EffInf: 0.30, HalfBatch: 12},
+			"default": {EffInf: 0.35, HalfBatch: 48},
+		},
+	}
+	// Xeon8160 is the Skylake CPU of the paper's "1024 CPUs" runs.
+	Xeon8160 = Machine{
+		Name: "Intel Xeon Platinum 8160", PeakFLOPS: 3.07e12, MemoryBytes: 192 << 30,
+		Families: map[string]Profile{
+			"alexnet": {EffInf: 0.95, HalfBatch: 18},
+			"resnet":  {EffInf: 0.342, HalfBatch: 4},
+			"default": {EffInf: 0.45, HalfBatch: 12},
+		},
+	}
+)
+
+// Fabrics beyond Table 11 that the paper's clusters used.
+var (
+	// OmniPath approximates Stampede-2's 100Gb/s Intel Omni-Path fabric.
+	OmniPath = comm.Network{Name: "Intel 100Gb/s Omni-Path", Alpha: 1.0e-6, Beta: 0.1e-9}
+	// NVLinkHybrid approximates intra-DGX-1 NVLink collective performance.
+	NVLinkHybrid = comm.Network{Name: "NVLink (DGX-1)", Alpha: 5.0e-6, Beta: 0.0125e-9}
+)

@@ -1,0 +1,59 @@
+package cluster
+
+import "repro/internal/models"
+
+// ActivationBytesPerImage estimates per-image activation memory during
+// training: every materializing layer output (conv, fc, pooling) is held for
+// the backward pass together with its gradient (factor 2), at 4 bytes per
+// float. Elementwise layers (ReLU, BN, LRN, dropout) run in place in
+// production frameworks and are not counted.
+func ActivationBytesPerImage(spec *models.ModelSpec) int64 {
+	var floats int64
+	for _, l := range spec.Layers {
+		switch l.Kind {
+		case "conv", "fc", "pool", "gap":
+			floats += int64(l.OutC) * int64(l.OutH) * int64(l.OutW)
+		}
+	}
+	return floats * 4 * 2
+}
+
+// WorkspaceBytesPerImage estimates the im2col lowering buffers of the
+// convolution layers (Caffe keeps one per layer). For a conv layer the patch
+// matrix has MACs/outC elements per image.
+func WorkspaceBytesPerImage(spec *models.ModelSpec) int64 {
+	var floats int64
+	for _, l := range spec.Layers {
+		if l.Kind == "conv" && l.OutC > 0 {
+			floats += l.MACs / int64(l.OutC)
+		}
+	}
+	return floats * 4
+}
+
+// WeightMemoryBytes is the resident parameter state: weights, gradients and
+// momentum, 4 bytes each.
+func WeightMemoryBytes(spec *models.ModelSpec) int64 {
+	return 3 * 4 * spec.ParamCount()
+}
+
+// PerImageBytes is the total per-image training footprint.
+func PerImageBytes(spec *models.ModelSpec) int64 {
+	return ActivationBytesPerImage(spec) + WorkspaceBytesPerImage(spec)
+}
+
+// MaxBatch returns the largest per-device batch that fits in the machine's
+// memory, or 0 if not even a single image fits. This models Figure 3's
+// out-of-memory point (AlexNet on M40: batch 512 fits, 1024 does not) and
+// the micro-batching fallback for oversized local batches.
+func MaxBatch(m Machine, spec *models.ModelSpec) int {
+	avail := m.MemoryBytes - WeightMemoryBytes(spec)
+	if avail <= 0 {
+		return 0
+	}
+	per := PerImageBytes(spec)
+	if per <= 0 {
+		return 1 << 20
+	}
+	return int(avail / per)
+}

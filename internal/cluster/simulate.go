@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+// Cluster is a homogeneous set of devices joined by one fabric.
+type Cluster struct {
+	Machine Machine
+	Count   int
+	Network comm.Network
+	Algo    dist.Algorithm
+	// Overlap models communication/computation overlap (Das et al. 2016;
+	// Goyal et al. 2017): the exposed communication per iteration is the
+	// part not hidden behind the backward pass, approximated as
+	// max(0, t_comm − t_comp/2).
+	Overlap bool
+}
+
+// Predefined clusters matching the paper's experiments.
+
+// DGX1 is one NVIDIA DGX-1 station: 8 P100s on NVLink.
+func DGX1() Cluster {
+	return Cluster{Machine: TeslaP100, Count: 8, Network: NVLinkHybrid, Algo: dist.Ring}
+}
+
+// SingleDevice is a one-device "cluster" (no communication).
+func SingleDevice(m Machine) Cluster {
+	return Cluster{Machine: m, Count: 1, Network: OmniPath, Algo: dist.Ring}
+}
+
+// KNLCluster is n Stampede-2 KNL nodes on Omni-Path.
+func KNLCluster(n int) Cluster {
+	return Cluster{Machine: KNL7250, Count: n, Network: OmniPath, Algo: dist.Ring}
+}
+
+// CPUCluster is n Skylake nodes on Omni-Path.
+func CPUCluster(n int) Cluster {
+	return Cluster{Machine: Xeon8160, Count: n, Network: OmniPath, Algo: dist.Ring}
+}
+
+// P100Cluster is n P100 GPUs on FDR InfiniBand (Facebook's setup).
+func P100Cluster(n int) Cluster {
+	return Cluster{Machine: TeslaP100, Count: n, Network: comm.MellanoxFDR, Algo: dist.Ring}
+}
+
+// Estimate is the simulator's output for one training configuration.
+type Estimate struct {
+	Cluster    Cluster
+	Model      string
+	Batch      int
+	Epochs     int
+	Iterations int64
+	LocalBatch int
+	// MicroBatch is the per-device compute batch after memory-driven
+	// micro-batching; equal to LocalBatch when everything fits.
+	MicroBatch int
+	// OOM marks configurations where even a single image does not fit.
+	OOM       bool
+	CompSec   float64 // per-iteration computation
+	CommSec   float64 // per-iteration exposed communication
+	TotalSec  float64
+	ImagesSec float64 // sustained throughput
+}
+
+// Duration returns the total time as a time.Duration.
+func (e Estimate) Duration() time.Duration { return time.Duration(e.TotalSec * float64(time.Second)) }
+
+// String renders a compact summary row.
+func (e Estimate) String() string {
+	if e.OOM {
+		return fmt.Sprintf("%s B=%d on %dx %s: OOM", e.Model, e.Batch, e.Cluster.Count, e.Cluster.Machine.Name)
+	}
+	return fmt.Sprintf("%s B=%d on %dx %s: %s (%.0f img/s, comm %.0f%%)",
+		e.Model, e.Batch, e.Cluster.Count, e.Cluster.Machine.Name,
+		formatDuration(e.TotalSec), e.ImagesSec, 100*e.CommSec/(e.CompSec+e.CommSec+1e-30))
+}
+
+// formatDuration renders seconds as the paper's "21h" / "24m" style.
+func formatDuration(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d >= 48*time.Hour:
+		return fmt.Sprintf("%.1fd", d.Hours()/24)
+	case d >= time.Hour:
+		h := int(d.Hours())
+		m := int(d.Minutes()) - 60*h
+		return fmt.Sprintf("%dh%02dm", h, m)
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// Simulate prices one fixed-epoch training run of spec on c with global
+// batch size batch over a dataset of datasetSize images.
+func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int) Estimate {
+	if c.Count <= 0 || batch <= 0 || epochs <= 0 || datasetSize <= 0 {
+		panic("cluster: invalid simulation parameters")
+	}
+	e := Estimate{
+		Cluster: c, Model: spec.Name, Batch: batch, Epochs: epochs,
+		Iterations: comm.Iterations(epochs, datasetSize, batch),
+	}
+	e.LocalBatch = batch / c.Count
+	if e.LocalBatch == 0 {
+		e.LocalBatch = 1 // more devices than samples: P = batch effectively
+	}
+	fit := MaxBatch(c.Machine, spec)
+	if fit == 0 {
+		e.OOM = true
+		return e
+	}
+	e.MicroBatch = e.LocalBatch
+	if e.MicroBatch > fit {
+		e.MicroBatch = fit // gradient accumulation in micro-batches
+	}
+	prof := c.Machine.ProfileFor(spec.Name)
+	eff := prof.Efficiency(float64(e.MicroBatch))
+	flopsPerIter := float64(e.LocalBatch) * float64(spec.TrainFLOPsPerImage())
+	e.CompSec = flopsPerIter / (c.Machine.PeakFLOPS * eff)
+	rawComm := c.Network.AllreduceTime(c.Algo, c.Count, spec.WeightBytes())
+	if c.Overlap {
+		exposed := rawComm - e.CompSec/2
+		if exposed < 0 {
+			exposed = 0
+		}
+		e.CommSec = exposed
+	} else {
+		e.CommSec = rawComm
+	}
+	iterSec := e.CompSec + e.CommSec
+	e.TotalSec = float64(e.Iterations) * iterSec
+	e.ImagesSec = float64(batch) / iterSec
+	return e
+}
+
+// ThroughputPoint is one x/y pair of Figure 3: per-device batch size versus
+// sustained images/second on a single device (0 marks out-of-memory).
+type ThroughputPoint struct {
+	Batch     int
+	ImagesSec float64
+	OOM       bool
+}
+
+// ThroughputCurve regenerates Figure 3's shape for one device and model.
+func ThroughputCurve(m Machine, spec *models.ModelSpec, batches []int) []ThroughputPoint {
+	fit := MaxBatch(m, spec)
+	prof := m.ProfileFor(spec.Name)
+	out := make([]ThroughputPoint, 0, len(batches))
+	for _, b := range batches {
+		if b > fit {
+			out = append(out, ThroughputPoint{Batch: b, OOM: true})
+			continue
+		}
+		eff := prof.Efficiency(float64(b))
+		ips := m.PeakFLOPS * eff / float64(spec.TrainFLOPsPerImage())
+		out = append(out, ThroughputPoint{Batch: b, ImagesSec: ips})
+	}
+	return out
+}

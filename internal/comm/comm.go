@@ -1,0 +1,127 @@
+// Package comm implements the paper's communication analysis: the
+// alpha-beta (latency/bandwidth) cost model over the network fabrics of
+// Table 11, per-algorithm allreduce cost formulas, the iteration/message/
+// volume arithmetic behind Table 2 and Figures 8-10, and the energy model
+// of Table 12.
+//
+// The package is purely analytic — it prices communication patterns that
+// internal/dist executes for real — so the measured byte/message counters
+// from dist can be cross-checked against these formulas in tests.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Network is an alpha-beta fabric profile: sending an m-byte message costs
+// Alpha + m·Beta seconds.
+type Network struct {
+	Name  string
+	Alpha float64 // latency, seconds per message
+	Beta  float64 // inverse bandwidth, seconds per byte
+}
+
+// The paper's Table 11 fabrics.
+var (
+	MellanoxFDR = Network{Name: "Mellanox 56Gb/s FDR IB", Alpha: 0.7e-6, Beta: 0.2e-9}
+	IntelQDR    = Network{Name: "Intel 40Gb/s QDR IB", Alpha: 1.2e-6, Beta: 0.3e-9}
+	Intel10GbE  = Network{Name: "Intel 10GbE NetEffect NE020", Alpha: 7.2e-6, Beta: 0.9e-9}
+)
+
+// Table11 returns the fabric profiles in the paper's order.
+func Table11() []Network {
+	return []Network{MellanoxFDR, IntelQDR, Intel10GbE}
+}
+
+// PointToPoint returns the time to move one message of the given size.
+func (n Network) PointToPoint(bytes int64) float64 {
+	return n.Alpha + float64(bytes)*n.Beta
+}
+
+// AllreduceTime prices one gradient allreduce of `bytes` payload across p
+// workers under the given algorithm:
+//
+//	Central: 2(P−1)·(α + Bβ)        — serialized at the parameter server
+//	Tree:    2·⌈log₂P⌉·(α + Bβ)     — Table 2's log(P) model
+//	Ring:    2(P−1)·α + 2·(P−1)/P·Bβ — bandwidth optimal
+//
+// The factor 2 covers the paper's two phases: gradient sum and weight
+// broadcast (or reduce-scatter + allgather for the ring).
+func (n Network) AllreduceTime(algo dist.Algorithm, p int, bytes int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	switch algo {
+	case dist.Central:
+		return 2 * float64(p-1) * (n.Alpha + b*n.Beta)
+	case dist.Tree:
+		return 2 * float64(ceilLog2(p)) * (n.Alpha + b*n.Beta)
+	case dist.Ring:
+		return 2*float64(p-1)*n.Alpha + 2*float64(p-1)/float64(p)*b*n.Beta
+	default:
+		panic(fmt.Sprintf("comm: unknown algorithm %v", algo))
+	}
+}
+
+// ceilLog2 returns ⌈log₂ p⌉ for p >= 1.
+func ceilLog2(p int) int {
+	n, v := 0, 1
+	for v < p {
+		v *= 2
+		n++
+	}
+	return n
+}
+
+// MessagesPerAllreduce returns the total point-to-point message count of
+// one allreduce (sum + broadcast) under the algorithm, matching what
+// internal/dist's counters record.
+func MessagesPerAllreduce(algo dist.Algorithm, p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	switch algo {
+	case dist.Central:
+		return 2 * int64(p-1)
+	case dist.Tree:
+		return 2 * int64(p-1)
+	case dist.Ring:
+		// Reduce-scatter and allgather: P messages per step, 2(P−1) steps,
+		// plus the binomial weight broadcast dist pairs with it.
+		return 2*int64(p)*int64(p-1) + int64(p-1)
+	default:
+		panic(fmt.Sprintf("comm: unknown algorithm %v", algo))
+	}
+}
+
+// Iterations returns the paper's analytic E·n/B iteration count (Table 2,
+// Figure 8), rounding the exact ratio. Table 2's rows (e.g. B=4096 →
+// 31,250) use this idealized arithmetic even when B does not divide n.
+func Iterations(epochs, datasetSize, batch int) int64 {
+	exact := float64(epochs) * float64(datasetSize) / float64(batch)
+	return int64(exact + 0.5)
+}
+
+// IterationsCeil returns the iteration count of a real epoch-based loader
+// that rounds each epoch up to whole batches.
+func IterationsCeil(epochs, datasetSize, batch int) int64 {
+	perEpoch := (datasetSize + batch - 1) / batch
+	return int64(epochs) * int64(perEpoch)
+}
+
+// TotalMessages returns Figure 9's series: the number of messages a full
+// training run sends. Message count per iteration is algorithm- and
+// P-dependent; the paper's simplified analysis treats it as proportional to
+// iterations, which holds for fixed algorithm and P.
+func TotalMessages(algo dist.Algorithm, p, epochs, datasetSize, batch int) int64 {
+	return Iterations(epochs, datasetSize, batch) * MessagesPerAllreduce(algo, p)
+}
+
+// TotalVolumeBytes returns Figure 10's series: the paper's communication
+// volume |W|·E·n/B, in bytes (weightBytes = 4|W|).
+func TotalVolumeBytes(weightBytes int64, epochs, datasetSize, batch int) int64 {
+	return Iterations(epochs, datasetSize, batch) * weightBytes
+}

@@ -1,0 +1,51 @@
+package comm
+
+// EnergyOp is one row of the paper's Table 12 (Horowitz's 45nm CMOS energy
+// table): the energy of a single operation in picojoules, classified as
+// computation or communication (data movement).
+type EnergyOp struct {
+	Name string
+	Kind string // "computation" or "communication"
+	PJ   float64
+}
+
+// Table12 returns the energy table in the paper's order.
+func Table12() []EnergyOp {
+	return []EnergyOp{
+		{"32 bit int add", "computation", 0.1},
+		{"32 bit float add", "computation", 0.9},
+		{"32 bit register access", "communication", 1.0},
+		{"32 bit int multiply", "computation", 3.1},
+		{"32 bit float multiply", "computation", 3.7},
+		{"32 bit SRAM access", "communication", 5.0},
+		{"32 bit DRAM access", "communication", 640},
+	}
+}
+
+// Energy constants (picojoules) used by the estimator.
+const (
+	pjFloatAdd   = 0.9
+	pjFloatMul   = 3.7
+	pjSRAMAccess = 5.0
+	pjDRAMAccess = 640
+)
+
+// EnergyEstimate prices a training computation in joules: flops are split
+// evenly between float adds and multiplies (a multiply-accumulate is one of
+// each), and every word moved through DRAM costs a Table 12 DRAM access.
+// The estimate exists to reproduce the paper's qualitative point that
+// communication (data movement) dominates energy: a single DRAM access
+// costs as much as ~700 float adds.
+func EnergyEstimate(flops, dramWordAccesses int64) float64 {
+	pj := float64(flops)/2*(pjFloatAdd+pjFloatMul) + float64(dramWordAccesses)*pjDRAMAccess
+	return pj * 1e-12
+}
+
+// DRAMAccessesPerIteration approximates the words moved to/from DRAM per
+// training iteration: weights and gradients are each read and written once
+// (4|W|), and the batch's activations are assumed cache-resident (the
+// favourable case; real traffic is higher, which only strengthens the
+// conclusion that movement dominates).
+func DRAMAccessesPerIteration(weights int64) int64 {
+	return 4 * weights
+}

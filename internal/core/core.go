@@ -1,0 +1,316 @@
+// Package core is the paper's primary contribution as a reusable engine:
+// large-batch synchronous data-parallel training with the LARS optimizer,
+// gradual warmup and polynomial learning-rate decay, under a fixed epoch
+// budget.
+//
+// The three training recipes the paper compares are first-class here:
+//
+//   - BaselineSGD        — momentum SGD at the reference batch size,
+//   - LinearScalingWarmup — Goyal et al.'s large-batch recipe (the "without
+//     LARS" curves of Figure 4 and the failures of Table 5),
+//   - LARSWarmup          — the paper's recipe (Table 7, Figure 4).
+//
+// A Trainer couples a model factory, the dist engine, the optimizer, the
+// schedule and the dataset into one reproducible run that records per-epoch
+// metrics, detects divergence (the paper's 0.1%-accuracy rows), and reports
+// communication statistics.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Method selects the training recipe.
+type Method int
+
+// Recipe choices.
+const (
+	// BaselineSGD is momentum SGD with the poly schedule at the base rate —
+	// the paper's small-batch reference runs.
+	BaselineSGD Method = iota
+	// LinearScalingWarmup scales the base rate linearly with the batch size
+	// and ramps it up over the warmup epochs (Goyal et al. 2017).
+	LinearScalingWarmup
+	// LARSWarmup adds Layer-wise Adaptive Rate Scaling on top of linear
+	// scaling and warmup — the paper's recipe.
+	LARSWarmup
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case BaselineSGD:
+		return "sgd"
+	case LinearScalingWarmup:
+		return "linear+warmup"
+	case LARSWarmup:
+		return "lars+warmup"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config describes one training run.
+type Config struct {
+	// Model builds one replica; called once per worker with distinct seeds
+	// derived from Seed. All replicas are weight-synchronized before step 0.
+	Model func(seed uint64) *nn.Network
+
+	Workers int            // data-parallel worker count (default 1)
+	Algo    dist.Algorithm // gradient reduction pattern (default Ring)
+
+	Batch  int // global batch size B
+	Epochs int // fixed epoch budget E (the paper's invariant)
+
+	Method Method
+	// BaseLR is the reference learning rate at BaseBatch. Linear scaling
+	// uses BaseLR·Batch/BaseBatch as the target rate.
+	BaseLR    float64
+	BaseBatch int
+	// WarmupEpochs ramps the rate linearly at the start (Table 7 uses up
+	// to 13 epochs at batch 4096).
+	WarmupEpochs float64
+	PolyPower    float64 // default 2, the paper's poly policy
+	Momentum     float64 // default 0.9
+	WeightDecay  float64 // default 0.0005
+	Trust        float64 // LARS trust coefficient, default 0.01 at micro scale
+
+	// Augment enables the weak augmentation (±2 crop, flip) used by the
+	// paper's "weak data augmentation" rows.
+	Augment bool
+
+	// MicroBatch, when positive and smaller than Batch, processes each
+	// global batch in sequential chunks of this size, accumulating
+	// gradients before the optimizer step — gradient accumulation, the
+	// same memory-driven micro-batching the cluster simulator models for
+	// Table 9's B=8192 single-DGX-1 row. The optimizer trajectory matches
+	// the single-pass batch up to float32 summation order (batch-norm
+	// statistics are per-chunk, as on real hardware).
+	MicroBatch int
+
+	Seed uint64
+	// EvalEveryEpochs controls how often test accuracy is measured
+	// (always at the final epoch). 0 means every epoch.
+	EvalEveryEpochs int
+	// MaxLoss aborts the run as diverged when the training loss exceeds
+	// it (default 25).
+	MaxLoss float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.BaseLR == 0 {
+		c.BaseLR = 0.05
+	}
+	if c.BaseBatch == 0 {
+		c.BaseBatch = 32
+	}
+	if c.PolyPower == 0 {
+		c.PolyPower = 2
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 0.0005
+	}
+	if c.Trust == 0 {
+		c.Trust = 0.01
+	}
+	if c.EvalEveryEpochs == 0 {
+		c.EvalEveryEpochs = 1
+	}
+	if c.MaxLoss == 0 {
+		c.MaxLoss = 25
+	}
+	return c
+}
+
+// TargetLR returns the post-warmup learning rate implied by the recipe.
+func (c Config) TargetLR() float64 {
+	switch c.Method {
+	case BaselineSGD:
+		return c.BaseLR
+	default:
+		return opt.LinearScalingRule(c.BaseLR, c.BaseBatch, c.Batch)
+	}
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	TestAcc   float64 // NaN when not evaluated this epoch
+	LR        float64 // rate at the first step of the epoch
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config     Config
+	History    []EpochStats
+	FinalLoss  float64
+	TestAcc    float64 // final top-1 test accuracy
+	BestAcc    float64 // peak test accuracy over the run (the paper reports peak)
+	Diverged   bool
+	Iterations int64
+	Wall       time.Duration
+	Comm       dist.CommStats
+}
+
+// Train runs the configured recipe on the dataset and returns the result.
+// It only returns an error for infrastructure failures (worker panics);
+// divergence is reported in Result.Diverged, matching how the paper reports
+// diverged runs as 0.1%-accuracy rows rather than aborted experiments.
+func Train(cfg Config, ds *data.Synth) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		panic("core: Config.Model is required")
+	}
+	start := time.Now()
+
+	replicas := make([]*nn.Network, cfg.Workers)
+	for i := range replicas {
+		replicas[i] = cfg.Model(cfg.Seed + uint64(i)*7919)
+	}
+	engine := dist.NewEngine(dist.Config{Algo: cfg.Algo}, replicas)
+
+	params := engine.Master().Params()
+	var optimizer opt.Optimizer
+	switch cfg.Method {
+	case LARSWarmup:
+		optimizer = opt.NewLARS(params, opt.LARSConfig{
+			Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay, Trust: cfg.Trust,
+		})
+	default:
+		optimizer = opt.NewSGD(params, opt.SGDConfig{
+			Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
+		})
+	}
+
+	stepsPerEpoch := len(data.Batches(make([]int, ds.Train.Len()), cfg.Batch))
+	if stepsPerEpoch == 0 {
+		return nil, fmt.Errorf("core: batch %d exceeds training set %d", cfg.Batch, ds.Train.Len())
+	}
+	totalSteps := stepsPerEpoch * cfg.Epochs
+	var sched opt.Schedule = opt.Poly{Base: cfg.TargetLR(), Power: cfg.PolyPower}
+	if cfg.Method != BaselineSGD && cfg.WarmupEpochs > 0 {
+		sched = opt.Warmup{Inner: sched, WarmupSteps: int(cfg.WarmupEpochs * float64(stepsPerEpoch))}
+	}
+
+	var aug *data.Augmenter
+	if cfg.Augment {
+		aug = data.NewAugmenter(2, true, rng.New(cfg.Seed^0xa5a5a5a5))
+	}
+
+	// Gradient-accumulation buffers (allocated only when micro-batching).
+	var accum []*tensor.Tensor
+	masterParams := engine.Master().Params()
+	if cfg.MicroBatch > 0 && cfg.MicroBatch < cfg.Batch {
+		accum = make([]*tensor.Tensor, len(masterParams))
+		for i, p := range masterParams {
+			accum[i] = tensor.New(p.W.Shape...)
+		}
+	}
+	// computeBatchGradient leaves the batch-mean gradient in the master's
+	// parameter gradients, chunking through MicroBatch-sized pieces when
+	// accumulation is enabled.
+	computeBatchGradient := func(x *tensor.Tensor, labels []int) (float64, error) {
+		if accum == nil {
+			return engine.ComputeGradient(x, labels)
+		}
+		for _, a := range accum {
+			a.Zero()
+		}
+		imLen := x.Numel() / x.Shape[0]
+		b := x.Shape[0]
+		var total float64
+		for lo := 0; lo < b; lo += cfg.MicroBatch {
+			hi := lo + cfg.MicroBatch
+			if hi > b {
+				hi = b
+			}
+			shape := append([]int{hi - lo}, x.Shape[1:]...)
+			chunk := tensor.FromSlice(x.Data[lo*imLen:hi*imLen], shape...)
+			loss, err := engine.ComputeGradient(chunk, labels[lo:hi])
+			if err != nil {
+				return 0, err
+			}
+			w := float32(hi-lo) / float32(b)
+			total += loss * float64(w)
+			for i, p := range masterParams {
+				accum[i].Axpy(w, p.G)
+			}
+		}
+		for i, p := range masterParams {
+			p.G.CopyFrom(accum[i])
+		}
+		return total, nil
+	}
+
+	res := &Result{Config: cfg, TestAcc: math.NaN()}
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs && !res.Diverged; epoch++ {
+		perm := ds.Train.Shuffled(cfg.Seed, epoch)
+		var epochLoss float64
+		var epochSteps int
+		lrAtStart := sched.LR(step, totalSteps)
+		for _, idx := range data.Batches(perm, cfg.Batch) {
+			x, labels := ds.Train.Gather(idx)
+			if aug != nil {
+				aug.Apply(x)
+			}
+			loss, err := computeBatchGradient(x, labels)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > cfg.MaxLoss {
+				res.Diverged = true
+				epochLoss += loss
+				epochSteps++
+				break
+			}
+			optimizer.Step(sched.LR(step, totalSteps))
+			engine.BroadcastWeights()
+			epochLoss += loss
+			epochSteps++
+			step++
+		}
+		stats := EpochStats{
+			Epoch:     epoch,
+			TrainLoss: epochLoss / float64(epochSteps),
+			TestAcc:   math.NaN(),
+			LR:        lrAtStart,
+		}
+		last := epoch == cfg.Epochs-1 || res.Diverged
+		if last || epoch%cfg.EvalEveryEpochs == 0 {
+			stats.TestAcc = engine.EvalAccuracy(ds.Test.Images, ds.Test.Labels, 256)
+			if stats.TestAcc > res.BestAcc {
+				res.BestAcc = stats.TestAcc
+			}
+			res.TestAcc = stats.TestAcc
+		}
+		res.FinalLoss = stats.TrainLoss
+		res.History = append(res.History, stats)
+	}
+	res.Iterations = engine.Steps()
+	res.Comm = engine.Stats()
+	res.Wall = time.Since(start)
+	return res, nil
+}

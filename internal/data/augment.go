@@ -1,0 +1,64 @@
+package data
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Augmenter applies the paper's "weak data augmentation" to assembled
+// batches: random padded crops (translations) and horizontal flips. The
+// paper's Table 9/10 distinguish runs with and without augmentation; the
+// measured experiments reproduce that axis with this type.
+type Augmenter struct {
+	// Pad is the crop padding: each image is virtually zero-padded by Pad
+	// pixels and a random window of the original size is cut out,
+	// producing translations in [-Pad, +Pad].
+	Pad int
+	// Flip mirrors each image horizontally with probability 1/2.
+	Flip bool
+	r    *rng.Rand
+}
+
+// NewAugmenter builds an augmenter drawing randomness from r.
+func NewAugmenter(pad int, flip bool, r *rng.Rand) *Augmenter {
+	return &Augmenter{Pad: pad, Flip: flip, r: r}
+}
+
+// Apply transforms every image of the batch [N, C, H, W] in place.
+func (a *Augmenter) Apply(x *tensor.Tensor) {
+	if a == nil || (a.Pad == 0 && !a.Flip) {
+		return
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	imLen := c * h * w
+	scratch := make([]float32, imLen)
+	for i := 0; i < n; i++ {
+		dy, dx := 0, 0
+		if a.Pad > 0 {
+			dy = a.r.Intn(2*a.Pad+1) - a.Pad
+			dx = a.r.Intn(2*a.Pad+1) - a.Pad
+		}
+		mirror := a.Flip && a.r.Bool()
+		if dy == 0 && dx == 0 && !mirror {
+			continue
+		}
+		img := x.Data[i*imLen : (i+1)*imLen]
+		copy(scratch, img)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				sy := y + dy
+				for xx := 0; xx < w; xx++ {
+					sx := xx + dx
+					if mirror {
+						sx = w - 1 - sx
+					}
+					var v float32
+					if sy >= 0 && sy < h && sx >= 0 && sx < w {
+						v = scratch[(ch*h+sy)*w+sx]
+					}
+					img[(ch*h+y)*w+xx] = v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLoaderMatchesSynchronousPath(t *testing.T) {
+	s := GenerateSynth(smallCfg())
+	cfg := LoaderConfig{Batch: 16, Epochs: 3, Seed: 9, AugmentPad: 2, AugmentFlip: true}
+	l := NewLoader(s.Train, cfg)
+
+	// Reference: the synchronous assembly with identical seeding.
+	aug := NewAugmenter(2, true, rng.New(uint64(9)^0xa5a5a5a5))
+	for epoch := 0; epoch < 3; epoch++ {
+		perm := s.Train.Shuffled(9, epoch)
+		for i, idx := range Batches(perm, 16) {
+			want, wantLabels := s.Train.Gather(idx)
+			aug.Apply(want)
+			got, ok := l.Next()
+			if !ok {
+				t.Fatalf("loader exhausted early at epoch %d batch %d", epoch, i)
+			}
+			if got.Epoch != epoch || got.Index != i {
+				t.Fatalf("batch position (%d,%d), want (%d,%d)", got.Epoch, got.Index, epoch, i)
+			}
+			for j := range wantLabels {
+				if got.Labels[j] != wantLabels[j] {
+					t.Fatal("label order differs from synchronous path")
+				}
+			}
+			for j := range want.Data {
+				if got.X.Data[j] != want.Data[j] {
+					t.Fatal("prefetched batch differs from synchronous assembly")
+				}
+			}
+		}
+	}
+	if _, ok := l.Next(); ok {
+		t.Fatal("loader should be exhausted")
+	}
+}
+
+func TestLoaderBatchCount(t *testing.T) {
+	s := GenerateSynth(smallCfg()) // 64 train examples
+	l := NewLoader(s.Train, LoaderConfig{Batch: 16, Epochs: 2, Seed: 1})
+	count := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 2*(64/16) {
+		t.Fatalf("loader yielded %d batches, want 8", count)
+	}
+}
+
+func TestLoaderCloseUnblocksProducer(t *testing.T) {
+	s := GenerateSynth(smallCfg())
+	l := NewLoader(s.Train, LoaderConfig{Batch: 8, Epochs: 100, Seed: 2, Prefetch: 1})
+	// Take one batch and abandon the rest; Close must not deadlock.
+	if _, ok := l.Next(); !ok {
+		t.Fatal("no first batch")
+	}
+	l.Close()
+}
+
+func TestLoaderWithoutAugmentation(t *testing.T) {
+	s := GenerateSynth(smallCfg())
+	l := NewLoader(s.Train, LoaderConfig{Batch: 32, Epochs: 1, Seed: 3})
+	b, ok := l.Next()
+	if !ok || b.X.Shape[0] != 32 {
+		t.Fatalf("bad first batch: ok=%v shape=%v", ok, b.X.Shape)
+	}
+	// Unaugmented data must match Gather exactly.
+	perm := s.Train.Shuffled(3, 0)
+	want, _ := s.Train.Gather(perm[:32])
+	for j := range want.Data {
+		if b.X.Data[j] != want.Data[j] {
+			t.Fatal("unaugmented loader batch differs from Gather")
+		}
+	}
+	l.Close()
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastSetup shrinks the measured experiments to seconds for unit tests;
+// the full tuned configuration runs in cmd/experiments and the benches.
+func fastSetup() *Setup {
+	s := DefaultSetup()
+	s.TrainSize = 512
+	s.ImageSize = 12
+	s.Width = 4
+	s.Epochs = 3
+	return s
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "Table X", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.Add("1", "2")
+	tbl.Note("hello %d", 42)
+	s := tbl.String()
+	for _, want := range []string{"Table X", "a", "bb", "hello 42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, s)
+		}
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown rendering malformed:\n%s", md)
+	}
+}
+
+func TestAnalyticTables(t *testing.T) {
+	cases := []struct {
+		tbl      *Table
+		wantRows int
+		wantCell string
+	}{
+		{Table3(), 2, "75.3%"},
+		{Table4(), 3, "Facebook (Goyal et al. 2017)"},
+		{Table6(), 2, "61M"},
+		{Table10(), 6, "75.4%"},
+		{Table11(), 3, "Mellanox 56Gb/s FDR IB"},
+		{Table12(), 7, "640"},
+		{Figure8(), 8, "225000"},
+		{Figure9(), 8, ""},
+		{Figure10(), 8, ""},
+	}
+	for _, tc := range cases {
+		if len(tc.tbl.Rows) != tc.wantRows {
+			t.Errorf("%s: %d rows, want %d", tc.tbl.ID, len(tc.tbl.Rows), tc.wantRows)
+		}
+		if tc.wantCell != "" && !strings.Contains(tc.tbl.String(), tc.wantCell) {
+			t.Errorf("%s: missing cell %q", tc.tbl.ID, tc.wantCell)
+		}
+	}
+}
+
+func TestTable2Model(t *testing.T) {
+	tbl := Table2(0.1, 0.01)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("Table 2 has %d rows", len(tbl.Rows))
+	}
+	// First row: 250,000 iterations at batch 512 (the paper's exact value).
+	if tbl.Rows[0][2] != "250000" {
+		t.Fatalf("Table 2 row 0 iterations = %s", tbl.Rows[0][2])
+	}
+	// Last row: the extreme 1.28M batch on 2500 GPUs, 100 iterations.
+	if tbl.Rows[5][2] != "100" {
+		t.Fatalf("Table 2 extreme row iterations = %s", tbl.Rows[5][2])
+	}
+}
+
+func TestSimulatedTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 2 {
+		t.Fatalf("Table 1 rows = %d", len(t1.Rows))
+	}
+	t8 := Table8()
+	if len(t8.Rows) != 5 {
+		t.Fatalf("Table 8 rows = %d", len(t8.Rows))
+	}
+	t9 := Table9()
+	if len(t9.Rows) != 10 {
+		t.Fatalf("Table 9 rows = %d", len(t9.Rows))
+	}
+	f3 := Figure3()
+	if !strings.Contains(f3.String(), "out of memory") {
+		t.Error("Figure 3 must show the OOM point")
+	}
+	f7 := Figure7()
+	if len(f7.Rows) != 2 {
+		t.Fatalf("Figure 7 rows = %d", len(f7.Rows))
+	}
+	// No simulated row may be OOM except where the paper itself hit limits.
+	for _, tbl := range []*Table{t1, t8, t9} {
+		for _, row := range tbl.Rows {
+			for _, cell := range row {
+				if cell == "OOM" {
+					t.Errorf("%s: unexpected OOM row %v", tbl.ID, row)
+				}
+			}
+		}
+	}
+}
+
+func TestMeasuredFigure1Mechanics(t *testing.T) {
+	s := fastSetup()
+	tbl, err := Figure1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Figure 1 rows = %d, want 5", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "baseline") {
+		t.Error("Figure 1 must include the baseline row")
+	}
+}
+
+func TestMeasuredTable7Mechanics(t *testing.T) {
+	s := fastSetup()
+	tbl, err := Table7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Table 7 rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestMeasuredFigure4Mechanics(t *testing.T) {
+	s := fastSetup()
+	tbl, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != s.Epochs {
+		t.Fatalf("Figure 4 rows = %d, want %d", len(tbl.Rows), s.Epochs)
+	}
+}
+
+func TestMeasuredFigure5and6Mechanics(t *testing.T) {
+	s := fastSetup()
+	tbl, err := Figure5and6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != s.Epochs {
+		t.Fatalf("Figures 5&6 rows = %d, want %d", len(tbl.Rows), s.Epochs)
+	}
+	// GFLOPs column must be monotonically increasing.
+	prev := ""
+	for _, row := range tbl.Rows {
+		if row[1] <= prev && prev != "" && len(row[1]) == len(prev) {
+			t.Errorf("flops column not increasing: %s after %s", row[1], prev)
+		}
+		prev = row[1]
+	}
+}
+
+func TestMeasuredTable5Mechanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7 training runs")
+	}
+	s := fastSetup()
+	tbl, err := Table5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("Table 5 rows = %d, want 7", len(tbl.Rows))
+	}
+}
+
+func TestWarmupForMirrorsPaper(t *testing.T) {
+	s := DefaultSetup()
+	if s.WarmupFor(256) >= s.WarmupFor(1024) {
+		t.Error("warmup should grow with batch size")
+	}
+	if s.WarmupFor(2048) != 12 {
+		t.Errorf("extreme batch warmup = %v, want 12", s.WarmupFor(2048))
+	}
+}

@@ -1,0 +1,153 @@
+// Package metrics provides the measurement utilities around training runs:
+// confusion matrices, exponential smoothing for loss curves, and CSV export
+// of per-epoch histories so the paper's figures can be re-plotted from the
+// raw data of any run.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ConfusionMatrix counts predictions per (true class, predicted class).
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int64
+}
+
+// NewConfusionMatrix returns an empty k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Classes: k, Counts: make([][]int64, k)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int64, k)
+	}
+	return m
+}
+
+// Observe records one prediction.
+func (m *ConfusionMatrix) Observe(label, pred int) {
+	m.Counts[label][pred]++
+}
+
+// ObserveBatch records a batch of predictions.
+func (m *ConfusionMatrix) ObserveBatch(labels, preds []int) {
+	if len(labels) != len(preds) {
+		panic(fmt.Sprintf("metrics: %d labels vs %d predictions", len(labels), len(preds)))
+	}
+	for i := range labels {
+		m.Observe(labels[i], preds[i])
+	}
+}
+
+// Accuracy returns the trace fraction.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int64
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns the recall of each class (NaN when unseen).
+func (m *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, m.Classes)
+	for i := range m.Counts {
+		var row int64
+		for _, c := range m.Counts[i] {
+			row += c
+		}
+		if row == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = float64(m.Counts[i][i]) / float64(row)
+	}
+	return out
+}
+
+// String renders the matrix with rows = true class.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, acc %.3f)\n", m.Classes, m.Accuracy())
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			fmt.Fprintf(&b, "%6d", m.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EMA is an exponentially-weighted moving average for loss smoothing.
+type EMA struct {
+	Beta  float64 // retention, e.g. 0.98
+	value float64
+	steps int
+}
+
+// Update folds in one observation and returns the bias-corrected average.
+func (e *EMA) Update(x float64) float64 {
+	e.value = e.Beta*e.value + (1-e.Beta)*x
+	e.steps++
+	return e.Value()
+}
+
+// Value returns the bias-corrected current average (0 before any update).
+func (e *EMA) Value() float64 {
+	if e.steps == 0 {
+		return 0
+	}
+	return e.value / (1 - math.Pow(e.Beta, float64(e.steps)))
+}
+
+// WriteHistoryCSV exports a training history as CSV with a header,
+// suitable for replotting Figures 4/5/6.
+func WriteHistoryCSV(w io.Writer, history []core.EpochStats) error {
+	if _, err := fmt.Fprintln(w, "epoch,train_loss,test_acc,lr"); err != nil {
+		return err
+	}
+	for _, e := range history {
+		acc := ""
+		if !math.IsNaN(e.TestAcc) {
+			acc = fmt.Sprintf("%.6f", e.TestAcc)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%s,%.6f\n", e.Epoch, e.TrainLoss, acc, e.LR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareHistories returns the per-epoch accuracy gap (a minus b), padded
+// with NaN where either run lacks an evaluation — the raw series behind
+// Figure 4's two curves.
+func CompareHistories(a, b []core.EpochStats) []float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		av, bv := math.NaN(), math.NaN()
+		if i < len(a) {
+			av = a[i].TestAcc
+		}
+		if i < len(b) {
+			bv = b[i].TestAcc
+		}
+		out[i] = av - bv
+	}
+	return out
+}

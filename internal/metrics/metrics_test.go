@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestConfusionMatrixAccuracy(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.ObserveBatch([]int{0, 1, 2, 0}, []int{0, 1, 1, 0})
+	if got := m.Accuracy(); got != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if m.Counts[2][1] != 1 {
+		t.Fatal("misclassification not recorded")
+	}
+}
+
+func TestPerClassRecall(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.ObserveBatch([]int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	rec := m.PerClassRecall()
+	if rec[0] != 0.5 || rec[1] != 1 {
+		t.Fatalf("recall = %v", rec)
+	}
+	if !math.IsNaN(rec[2]) {
+		t.Fatal("unseen class should be NaN")
+	}
+}
+
+func TestConfusionStringRenders(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	m.Observe(0, 0)
+	if !strings.Contains(m.String(), "acc 1.000") {
+		t.Fatalf("render: %s", m.String())
+	}
+}
+
+func TestObserveBatchMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusionMatrix(2).ObserveBatch([]int{0}, []int{0, 1})
+}
+
+func TestEMABiasCorrection(t *testing.T) {
+	e := &EMA{Beta: 0.9}
+	// First observation should be returned (almost) exactly thanks to
+	// bias correction.
+	if got := e.Update(5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("first EMA value = %v, want 5", got)
+	}
+	// A long constant stream converges to the constant.
+	for i := 0; i < 200; i++ {
+		e.Update(3)
+	}
+	if math.Abs(e.Value()-3) > 0.01 {
+		t.Fatalf("EMA of constant 3 = %v", e.Value())
+	}
+}
+
+func TestEMASmoothsNoise(t *testing.T) {
+	e := &EMA{Beta: 0.95}
+	vals := []float64{1, 9, 1, 9, 1, 9, 1, 9, 1, 9}
+	var last float64
+	for _, v := range vals {
+		last = e.Update(v)
+	}
+	if last < 2 || last > 8 {
+		t.Fatalf("EMA should land between the extremes, got %v", last)
+	}
+}
+
+func TestWriteHistoryCSV(t *testing.T) {
+	h := []core.EpochStats{
+		{Epoch: 0, TrainLoss: 1.5, TestAcc: 0.25, LR: 0.1},
+		{Epoch: 1, TrainLoss: 0.7, TestAcc: math.NaN(), LR: 0.05},
+	}
+	var b strings.Builder
+	if err := WriteHistoryCSV(&b, h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "epoch,train_loss,test_acc,lr\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0,1.500000,0.250000,0.100000") {
+		t.Fatalf("row 0 malformed: %q", out)
+	}
+	if !strings.Contains(out, "1,0.700000,,0.050000") {
+		t.Fatalf("NaN accuracy should serialize empty: %q", out)
+	}
+}
+
+func TestCompareHistories(t *testing.T) {
+	a := []core.EpochStats{{TestAcc: 0.9}, {TestAcc: 0.95}}
+	b := []core.EpochStats{{TestAcc: 0.5}}
+	gap := CompareHistories(a, b)
+	if len(gap) != 2 {
+		t.Fatalf("gap length %d", len(gap))
+	}
+	if math.Abs(gap[0]-0.4) > 1e-12 {
+		t.Fatalf("gap[0] = %v", gap[0])
+	}
+	if !math.IsNaN(gap[1]) {
+		t.Fatal("missing b entry should give NaN")
+	}
+}

@@ -1,0 +1,198 @@
+// Package modelpar implements model parallelism — the alternative to data
+// parallelism that the paper's Figure 2(b) illustrates and its Background
+// section argues against for ImageNet-scale networks.
+//
+// A ShardedLinear partitions a fully-connected layer's output units across
+// P shards. Each shard holds a [out/P, in] weight slice and computes its
+// piece of the output from the full input; the forward pass allgathers the
+// output slices and the backward pass reduces the partial input gradients —
+// exactly the boundary-edge communication of the paper's figure. The
+// arithmetic is bit-compatible with the dense layer (the tests build a
+// dense layer from the concatenated shard weights and verify equality), so
+// model parallelism here is purely an execution strategy.
+//
+// CompareStrategies prices both strategies' per-step communication, making
+// the paper's argument quantitative: data-parallel traffic is proportional
+// to the weight count |W| but independent of the batch, while model-parallel
+// traffic grows with the batch; and the per-shard GEMM shrinks with P,
+// starving devices of useful work ("parallelizing a 2048x1024x1024 matrix
+// multiplication only needs one or two machines").
+package modelpar
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// CommStats counts the activation traffic of sharded execution.
+type CommStats struct {
+	// AllgatherBytes is the forward-pass output exchange.
+	AllgatherBytes int64
+	// ReduceBytes is the backward-pass input-gradient reduction.
+	ReduceBytes int64
+}
+
+// Total returns all bytes moved.
+func (s CommStats) Total() int64 { return s.AllgatherBytes + s.ReduceBytes }
+
+// ShardedLinear is a fully-connected layer partitioned output-wise over P
+// shards. It implements nn.Layer and is drop-in interchangeable with
+// nn.Linear of shape [out, in].
+type ShardedLinear struct {
+	name    string
+	In, Out int
+	shards  []*nn.Linear
+	bounds  []int // shard s owns output units [bounds[s], bounds[s+1])
+	stats   CommStats
+}
+
+// NewShardedLinear constructs a sharded layer with He initialization. The
+// initialization stream is per-shard, so the weights differ from an
+// identically-seeded dense layer; use SetFromDense for exact comparisons.
+func NewShardedLinear(name string, r *rng.Rand, in, out, p int) *ShardedLinear {
+	if p <= 0 || p > out {
+		panic(fmt.Sprintf("modelpar: %d shards for %d outputs", p, out))
+	}
+	l := &ShardedLinear{name: name, In: in, Out: out, bounds: make([]int, p+1)}
+	base, rem := out/p, out%p
+	off := 0
+	for s := 0; s < p; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		l.bounds[s] = off
+		shard := nn.NewLinear(fmt.Sprintf("%s.shard%d", name, s), r.Split(), in, size)
+		l.shards = append(l.shards, shard)
+		off += size
+	}
+	l.bounds[p] = off
+	return l
+}
+
+// Shards returns the number of partitions.
+func (l *ShardedLinear) Shards() int { return len(l.shards) }
+
+// Name implements nn.Layer.
+func (l *ShardedLinear) Name() string { return l.name }
+
+// Params implements nn.Layer.
+func (l *ShardedLinear) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range l.shards {
+		ps = append(ps, s.Params()...)
+	}
+	return ps
+}
+
+// Stats returns accumulated activation traffic.
+func (l *ShardedLinear) Stats() CommStats { return l.stats }
+
+// SetFromDense loads weights from a dense [out, in] weight matrix and [out]
+// bias, splitting them across the shards.
+func (l *ShardedLinear) SetFromDense(weight, bias *tensor.Tensor) {
+	if weight.Shape[0] != l.Out || weight.Shape[1] != l.In || bias.Numel() != l.Out {
+		panic("modelpar: SetFromDense shape mismatch")
+	}
+	for s, shard := range l.shards {
+		lo, hi := l.bounds[s], l.bounds[s+1]
+		copy(shard.Weight.W.Data, weight.Data[lo*l.In:hi*l.In])
+		copy(shard.Bias.W.Data, bias.Data[lo:hi])
+	}
+}
+
+// DenseWeights concatenates the shard weights back into dense form.
+func (l *ShardedLinear) DenseWeights() (weight, bias *tensor.Tensor) {
+	weight = tensor.New(l.Out, l.In)
+	bias = tensor.New(l.Out)
+	for s, shard := range l.shards {
+		lo, hi := l.bounds[s], l.bounds[s+1]
+		copy(weight.Data[lo*l.In:hi*l.In], shard.Weight.W.Data)
+		copy(bias.Data[lo:hi], shard.Bias.W.Data)
+	}
+	return weight, bias
+}
+
+// Forward implements nn.Layer: every shard sees the full input (already
+// resident from the previous layer or broadcast once), computes its output
+// slice concurrently, and the slices are allgathered into [N, Out].
+func (l *ShardedLinear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	outs := make([]*tensor.Tensor, len(l.shards))
+	tasks := make([]func(), len(l.shards))
+	for s := range l.shards {
+		s := s
+		tasks[s] = func() { outs[s] = l.shards[s].Forward(x, train) }
+	}
+	par.Do(tasks...)
+	y := tensor.New(n, l.Out)
+	for s := range l.shards {
+		lo, hi := l.bounds[s], l.bounds[s+1]
+		w := hi - lo
+		for i := 0; i < n; i++ {
+			copy(y.Data[i*l.Out+lo:i*l.Out+hi], outs[s].Data[i*w:(i+1)*w])
+		}
+		// Each shard contributes its slice to every other machine:
+		// (P-1)/P of the output crosses a partition boundary.
+	}
+	p := int64(len(l.shards))
+	l.stats.AllgatherBytes += int64(n) * int64(l.Out) * 4 * (p - 1) / p
+	return y
+}
+
+// Backward implements nn.Layer: the output gradient is scattered to the
+// owning shards, each computes its weight gradients and partial input
+// gradient, and the partial input gradients are summed (a reduce across the
+// partition boundary).
+func (l *ShardedLinear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Shape[0]
+	partials := make([]*tensor.Tensor, len(l.shards))
+	tasks := make([]func(), len(l.shards))
+	for s := range l.shards {
+		s := s
+		lo, hi := l.bounds[s], l.bounds[s+1]
+		w := hi - lo
+		slice := tensor.New(n, w)
+		for i := 0; i < n; i++ {
+			copy(slice.Data[i*w:(i+1)*w], dout.Data[i*l.Out+lo:i*l.Out+hi])
+		}
+		tasks[s] = func() { partials[s] = l.shards[s].Backward(slice) }
+	}
+	par.Do(tasks...)
+	dx := partials[0]
+	for _, pTensor := range partials[1:] {
+		dx.Add(pTensor)
+	}
+	p := int64(len(l.shards))
+	l.stats.ReduceBytes += int64(n) * int64(l.In) * 4 * (p - 1)
+	return dx
+}
+
+// StrategyCost prices one training step of a [out, in] fully-connected
+// layer at batch n over p machines under both parallelization strategies.
+type StrategyCost struct {
+	// DataParallelBytes: gradients the size of the weights cross the
+	// network each step (allreduce ~ 2|W| with a ring).
+	DataParallelBytes int64
+	// ModelParallelBytes: forward allgather + backward reduce of
+	// activations.
+	ModelParallelBytes int64
+	// ShardFlops is the per-device GEMM work under model parallelism —
+	// when this falls below a device's efficient minimum, extra machines
+	// add nothing (the paper's granularity argument).
+	ShardFlops int64
+}
+
+// CompareStrategies evaluates both strategies for a linear layer.
+func CompareStrategies(in, out, batch, p int) StrategyCost {
+	weights := int64(in)*int64(out) + int64(out)
+	return StrategyCost{
+		DataParallelBytes:  2 * weights * 4 * int64(p-1) / int64(p),
+		ModelParallelBytes: int64(batch) * (int64(out)*(int64(p)-1)/int64(p) + int64(in)*(int64(p)-1)) * 4,
+		ShardFlops:         2 * int64(batch) * int64(in) * int64(out) / int64(p),
+	}
+}

@@ -1,0 +1,195 @@
+package modelpar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// densePair builds a sharded layer and an equivalent dense layer sharing
+// the exact same weights.
+func densePair(seed uint64, in, out, p int) (*ShardedLinear, *nn.Linear) {
+	r := rng.New(seed)
+	sharded := NewShardedLinear("mp", r, in, out, p)
+	dense := nn.NewLinear("dense", rng.New(seed+1), in, out)
+	w, b := sharded.DenseWeights()
+	dense.Weight.W.CopyFrom(w)
+	dense.Bias.W.CopyFrom(b)
+	return sharded, dense
+}
+
+func TestForwardMatchesDense(t *testing.T) {
+	sharded, dense := densePair(1, 7, 10, 3)
+	r := rng.New(2)
+	x := tensor.RandNormal(r, 1, 4, 7)
+	ys := sharded.Forward(x, true)
+	yd := dense.Forward(x, true)
+	for i := range yd.Data {
+		if math.Abs(float64(ys.Data[i]-yd.Data[i])) > 1e-5 {
+			t.Fatalf("forward mismatch at %d: %v vs %v", i, ys.Data[i], yd.Data[i])
+		}
+	}
+}
+
+// Property: forward and backward of the sharded layer match the dense layer
+// for arbitrary shapes and shard counts.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, inB, outB, pB, nB uint8) bool {
+		in := int(inB%12) + 1
+		out := int(outB%12) + 1
+		p := int(pB%uint8(out))%4 + 1
+		if p > out {
+			p = out
+		}
+		n := int(nB%6) + 1
+		sharded, dense := densePair(seed, in, out, p)
+		r := rng.New(seed ^ 0xabc)
+		x := tensor.RandNormal(r, 1, n, in)
+		ys := sharded.Forward(x, true)
+		yd := dense.Forward(x, true)
+		for i := range yd.Data {
+			if math.Abs(float64(ys.Data[i]-yd.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		dout := tensor.RandNormal(r, 1, n, out)
+		dxs := sharded.Backward(dout.Clone())
+		dxd := dense.Backward(dout.Clone())
+		for i := range dxd.Data {
+			if math.Abs(float64(dxs.Data[i]-dxd.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		// Weight gradients: reassemble shard grads and compare.
+		off := 0
+		for _, shard := range sharded.shards {
+			sw := shard.Weight.G
+			for j := range sw.Data {
+				if math.Abs(float64(sw.Data[j]-dense.Weight.G.Data[off+j])) > 1e-4 {
+					return false
+				}
+			}
+			off += sw.Numel()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedInNetworkTrains(t *testing.T) {
+	// A sharded layer must be usable as a drop-in nn.Layer inside a model.
+	r := rng.New(5)
+	net := nn.NewNetwork("mp-mlp",
+		nn.NewFlatten(),
+		NewShardedLinear("fc1", r, 16, 12, 3),
+		nn.NewReLU("relu"),
+		NewShardedLinear("fc2", r, 12, 2, 2),
+	)
+	x := tensor.RandNormal(rng.New(6), 1, 16, 1, 4, 4)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 2
+		for j := 0; j < 16; j++ {
+			x.Data[i*16+j] += float32(labels[i]) * 2
+		}
+	}
+	var loss nn.SoftmaxCrossEntropy
+	first := 0.0
+	for step := 0; step < 40; step++ {
+		logits := net.Forward(x, true)
+		l := loss.Forward(logits, labels)
+		if step == 0 {
+			first = l
+		}
+		net.ZeroGrad()
+		net.Backward(loss.Backward())
+		for _, p := range net.Params() {
+			p.W.Axpy(-0.1, p.G)
+		}
+	}
+	logits := net.Forward(x, false)
+	final := loss.Forward(logits, labels)
+	if final > first/2 {
+		t.Fatalf("model-parallel network failed to learn: %v -> %v", first, final)
+	}
+}
+
+func TestUnevenShardBounds(t *testing.T) {
+	// 10 outputs over 4 shards: 3,3,2,2.
+	sharded, _ := densePair(3, 5, 10, 4)
+	sizes := []int{}
+	for s := 0; s < sharded.Shards(); s++ {
+		sizes = append(sizes, sharded.bounds[s+1]-sharded.bounds[s])
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("shard sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestCommAccounting(t *testing.T) {
+	sharded, _ := densePair(7, 8, 12, 4)
+	r := rng.New(8)
+	x := tensor.RandNormal(r, 1, 5, 8)
+	y := sharded.Forward(x, true)
+	sharded.Backward(tensor.RandNormal(r, 1, y.Shape...))
+	st := sharded.Stats()
+	// Forward: N*Out*(P-1)/P floats; backward: N*In*(P-1) floats.
+	wantFwd := int64(5*12) * 4 * 3 / 4
+	wantBwd := int64(5*8) * 4 * 3
+	if st.AllgatherBytes != wantFwd {
+		t.Errorf("allgather bytes %d, want %d", st.AllgatherBytes, wantFwd)
+	}
+	if st.ReduceBytes != wantBwd {
+		t.Errorf("reduce bytes %d, want %d", st.ReduceBytes, wantBwd)
+	}
+	if st.Total() != wantFwd+wantBwd {
+		t.Error("Total() inconsistent")
+	}
+}
+
+// TestPaperGranularityArgument quantifies the Background section's claim:
+// for AlexNet's fc7 (4096x4096) at practical batch sizes, data parallelism
+// moves more bytes per step than model parallelism — but model parallelism
+// runs out of useful per-device work long before P reaches cluster scale,
+// which is why the paper (and everyone since) scales via data parallelism
+// plus larger batches.
+func TestPaperGranularityArgument(t *testing.T) {
+	const in, out = 4096, 4096
+	// At P=2 the per-shard GEMM is still large.
+	small := CompareStrategies(in, out, 512, 2)
+	if small.ShardFlops < 1e9 {
+		t.Fatalf("P=2 shard work %d flops — unexpectedly small", small.ShardFlops)
+	}
+	// At P=512 each shard's GEMM is tiny: 1/256 of the P=2 work.
+	big := CompareStrategies(in, out, 512, 512)
+	if big.ShardFlops*200 > small.ShardFlops {
+		t.Fatalf("granularity should collapse with P: %d vs %d", big.ShardFlops, small.ShardFlops)
+	}
+	// And model-parallel activation traffic grows with P (the dx reduce),
+	// while data-parallel traffic saturates at 2|W|.
+	if big.ModelParallelBytes < small.ModelParallelBytes {
+		t.Fatal("model-parallel traffic should grow with P")
+	}
+	ratio := float64(big.DataParallelBytes) / float64(small.DataParallelBytes)
+	if ratio > 2.01 {
+		t.Fatalf("data-parallel traffic should saturate: grew %.2fx", ratio)
+	}
+}
+
+func TestBadShardCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p > out")
+		}
+	}()
+	NewShardedLinear("x", rng.New(1), 4, 2, 5)
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Basic-block ResNets (ResNet-18/34). The paper evaluates ResNet-50 only,
+// but the spec machinery generalizes to the whole family, which both
+// validates the counting code against more published parameter totals and
+// gives users lighter full-size models.
+
+// basicBlockSpec appends one 3x3+3x3 basic residual block.
+func basicBlockSpec(b *specBuilder, name string, out, stride int) {
+	inC, inH, inW := b.c, b.h, b.w
+	b.conv(name+".conv1", out, 3, stride, 1, 1, false).bn(name + ".bn1").relu(name + ".relu1")
+	b.conv(name+".conv2", out, 3, 1, 1, 1, false).bn(name + ".bn2")
+	if inC != out || stride != 1 {
+		outH := (inH-1)/stride + 1
+		outW := (inW-1)/stride + 1
+		b.m.Layers = append(b.m.Layers,
+			LayerSpec{
+				Name: name + ".down", Kind: "conv",
+				Params: int64(inC) * int64(out),
+				MACs:   int64(inC) * int64(out) * int64(outH*outW),
+				OutC:   out, OutH: outH, OutW: outW,
+			},
+			LayerSpec{
+				Name: name + ".downbn", Kind: "bn", Params: 2 * int64(out),
+				MACs: 2 * int64(out) * int64(outH*outW), OutC: out, OutH: outH, OutW: outW,
+			},
+		)
+	}
+	b.relu(name + ".relu2")
+}
+
+// basicResNetSpec builds an 18/34-style spec from per-stage block counts.
+func basicResNetSpec(name string, stages []int) *ModelSpec {
+	b := newSpecBuilder(name, 3, 224, 224, 1000)
+	b.conv("conv1", 64, 7, 2, 3, 1, false).bn("bn1").relu("relu1").maxpool("pool1", 3, 2, 1)
+	out := 64
+	for stage, blocks := range stages {
+		for blk := 0; blk < blocks; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			basicBlockSpec(b, fmt.Sprintf("conv%d_%d", stage+2, blk+1), out, stride)
+		}
+		out *= 2
+	}
+	b.gap("gap").fc("fc", 1000, true)
+	return b.build()
+}
+
+// ResNet18Spec returns the canonical ResNet-18 (11.69M parameters).
+func ResNet18Spec() *ModelSpec { return basicResNetSpec("ResNet-18", []int{2, 2, 2, 2}) }
+
+// ResNet34Spec returns the canonical ResNet-34 (21.80M parameters).
+func ResNet34Spec() *ModelSpec { return basicResNetSpec("ResNet-34", []int{3, 4, 6, 3}) }
+
+// newBasicBlock constructs a trainable basic residual block matching
+// basicBlockSpec.
+func newBasicBlock(r *rng.Rand, name string, inC, out, stride int) *nn.Residual {
+	body := nn.NewNetwork(name+".body",
+		nn.NewConv(name+".conv1", r, inC, out, 3, stride, 1, nn.ConvOpts{NoBias: true}),
+		nn.NewBatchNorm(name+".bn1", out),
+		nn.NewReLU(name+".relu1"),
+		nn.NewConv(name+".conv2", r, out, out, 3, 1, 1, nn.ConvOpts{NoBias: true}),
+		nn.NewBatchNorm(name+".bn2", out),
+	)
+	var shortcut *nn.Network
+	if inC != out || stride != 1 {
+		shortcut = nn.NewNetwork(name+".short",
+			nn.NewConv(name+".down", r, inC, out, 1, stride, 0, nn.ConvOpts{NoBias: true}),
+			nn.NewBatchNorm(name+".downbn", out),
+		)
+	}
+	return nn.NewResidual(name, body, shortcut)
+}
+
+// NewResNet18 constructs the full trainable ResNet-18; the parameter count
+// matches ResNet18Spec exactly.
+func NewResNet18(r *rng.Rand, classes int) *nn.Network {
+	return newBasicResNet(r, "resnet-18", []int{2, 2, 2, 2}, classes)
+}
+
+// NewResNet34 constructs the full trainable ResNet-34.
+func NewResNet34(r *rng.Rand, classes int) *nn.Network {
+	return newBasicResNet(r, "resnet-34", []int{3, 4, 6, 3}, classes)
+}
+
+func newBasicResNet(r *rng.Rand, name string, stages []int, classes int) *nn.Network {
+	net := nn.NewNetwork(name,
+		nn.NewConv("conv1", r, 3, 64, 7, 2, 3, nn.ConvOpts{NoBias: true}),
+		nn.NewBatchNorm("bn1", 64),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool("pool1", 3, 2, 1),
+	)
+	inC := 64
+	out := 64
+	for stage, blocks := range stages {
+		for blk := 0; blk < blocks; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			net.Add(newBasicBlock(r, fmt.Sprintf("conv%d_%d", stage+2, blk+1), inC, out, stride))
+			inC = out
+		}
+		out *= 2
+	}
+	net.Add(
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", r, inC, classes),
+	)
+	return net
+}

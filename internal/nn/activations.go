@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear unit, y = max(x, 0).
+type ReLU struct {
+	name string
+	mask []bool // true where the input was positive
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Numel()
+	if cap(l.mask) < n {
+		l.mask = make([]bool, n)
+	}
+	l.mask = l.mask[:n]
+	y := tensor.New(x.Shape...)
+	xd, yd, m := x.Data, y.Data, l.mask
+	par.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if xd[i] > 0 {
+				yd[i] = xd[i]
+				m[i] = true
+			} else {
+				yd[i] = 0
+				m[i] = false
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape...)
+	dd, xd, m := dx.Data, dout.Data, l.mask
+	par.For(len(dd), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if m[i] {
+				dd[i] = xd[i]
+			}
+		}
+	})
+	return dx
+}

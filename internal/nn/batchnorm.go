@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel over the batch (and spatial
+// positions for NCHW inputs), then applies a learned affine transform
+// y = γ·x̂ + β.
+//
+// The paper's 32K-batch AlexNet result specifically requires replacing the
+// original local response normalization with BatchNorm ("AlexNet-BN",
+// Ginsburg's refit): BN keeps activations well-scaled when the per-step
+// learning rate is large, which is what makes the LARS trust ratio
+// meaningful at extreme batch sizes.
+type BatchNorm struct {
+	name     string
+	C        int
+	Eps      float32
+	Momentum float32 // running-average retention, typically 0.9
+
+	Gamma, Beta *Param
+	// RunningMean and RunningVar are the inference-time statistics.
+	RunningMean, RunningVar *tensor.Tensor
+
+	// cached between Forward(train=true) and Backward
+	xhat    *tensor.Tensor
+	invStd  []float32
+	inShape []int
+	spatial bool
+}
+
+// NewBatchNorm builds a batch-norm layer over c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	bn := &BatchNorm{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.9,
+		Gamma:       NewParam(name+".gamma", c),
+		Beta:        NewParam(name+".beta", c),
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.New(c),
+	}
+	bn.Gamma.W.Fill(1)
+	bn.RunningVar.Fill(1)
+	bn.Gamma.NoDecay = true
+	bn.Beta.NoDecay = true
+	return bn
+}
+
+// Name implements Layer.
+func (l *BatchNorm) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *BatchNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// channelViews returns per-channel strided access parameters for x, which
+// must be [N, C] or [N, C, H, W] with C == l.C.
+func (l *BatchNorm) channelLayout(x *tensor.Tensor) (n, area int) {
+	switch x.Dims() {
+	case 2:
+		if x.Shape[1] != l.C {
+			panic(fmt.Sprintf("nn: %s: input %v, want C=%d", l.name, x.Shape, l.C))
+		}
+		return x.Shape[0], 1
+	case 4:
+		if x.Shape[1] != l.C {
+			panic(fmt.Sprintf("nn: %s: input %v, want C=%d", l.name, x.Shape, l.C))
+		}
+		return x.Shape[0], x.Shape[2] * x.Shape[3]
+	default:
+		panic(fmt.Sprintf("nn: %s: want 2-D or 4-D input, got %v", l.name, x.Shape))
+	}
+}
+
+// Forward implements Layer.
+func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, area := l.channelLayout(x)
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	l.spatial = x.Dims() == 4
+	y := tensor.New(x.Shape...)
+	if cap(l.invStd) < l.C {
+		l.invStd = make([]float32, l.C)
+	}
+	l.invStd = l.invStd[:l.C]
+	l.xhat = tensor.New(x.Shape...)
+
+	count := float64(n * area)
+	stride := l.C * area
+	gd, bd := l.Gamma.W.Data, l.Beta.W.Data
+
+	par.ForGrain(l.C, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			var mean, variance float64
+			if train {
+				var sum, sumSq float64
+				for s := 0; s < n; s++ {
+					base := s*stride + c*area
+					for i := 0; i < area; i++ {
+						v := float64(x.Data[base+i])
+						sum += v
+						sumSq += v * v
+					}
+				}
+				mean = sum / count
+				variance = sumSq/count - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				// Update running statistics (safe: one goroutine per channel).
+				m := float64(l.Momentum)
+				l.RunningMean.Data[c] = float32(m*float64(l.RunningMean.Data[c]) + (1-m)*mean)
+				l.RunningVar.Data[c] = float32(m*float64(l.RunningVar.Data[c]) + (1-m)*variance)
+			} else {
+				mean = float64(l.RunningMean.Data[c])
+				variance = float64(l.RunningVar.Data[c])
+			}
+			inv := float32(1 / math.Sqrt(variance+float64(l.Eps)))
+			l.invStd[c] = inv
+			mu := float32(mean)
+			g, b := gd[c], bd[c]
+			for s := 0; s < n; s++ {
+				base := s*stride + c*area
+				for i := 0; i < area; i++ {
+					xh := (x.Data[base+i] - mu) * inv
+					l.xhat.Data[base+i] = xh
+					y.Data[base+i] = g*xh + b
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer. Uses the standard batch-norm gradient:
+//
+//	dx̂ = dy·γ
+//	dx = invStd/M · (M·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂))
+//
+// where M is the per-channel element count.
+func (l *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := l.inShape[0]
+	area := 1
+	if l.spatial {
+		area = l.inShape[2] * l.inShape[3]
+	}
+	stride := l.C * area
+	m := float32(n * area)
+	dx := tensor.New(l.inShape...)
+	gd := l.Gamma.W.Data
+	dgd, dbd := l.Gamma.G.Data, l.Beta.G.Data
+
+	par.ForGrain(l.C, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			var sumDy, sumDyXhat float64
+			for s := 0; s < n; s++ {
+				base := s*stride + c*area
+				for i := 0; i < area; i++ {
+					dy := float64(dout.Data[base+i])
+					sumDy += dy
+					sumDyXhat += dy * float64(l.xhat.Data[base+i])
+				}
+			}
+			dgd[c] += float32(sumDyXhat)
+			dbd[c] += float32(sumDy)
+			g := gd[c]
+			inv := l.invStd[c]
+			meanDy := float32(sumDy) / m
+			meanDyXhat := float32(sumDyXhat) / m
+			for s := 0; s < n; s++ {
+				base := s*stride + c*area
+				for i := 0; i < area; i++ {
+					xh := l.xhat.Data[base+i]
+					dx.Data[base+i] = g * inv * (dout.Data[base+i] - meanDy - xh*meanDyXhat)
+				}
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW activations, lowered onto GEMM via
+// im2col. Weights have shape [outC, inC·kh·kw]; bias has shape [outC].
+type Conv2D struct {
+	name             string
+	InC, OutC        int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Weight, Bias     *Param
+	useBias          bool
+
+	// cached between Forward and Backward
+	x    *tensor.Tensor
+	geom tensor.ConvGeom
+	col  []float32 // scratch im2col buffer, reused across calls
+}
+
+// ConvOpts configures optional Conv2D behaviour.
+type ConvOpts struct {
+	// NoBias omits the additive bias (standard when BN follows the conv).
+	NoBias bool
+}
+
+// NewConv2D constructs a square-ish convolution. Weights are He-initialized
+// from r (appropriate for the ReLU networks in this repo).
+func NewConv2D(name string, r *rng.Rand, inC, outC, kh, kw, strideH, strideW, padH, padW int, opts ConvOpts) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC,
+		KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW,
+		useBias: !opts.NoBias,
+	}
+	k := inC * kh * kw
+	c.Weight = NewParam(name+".weight", outC, k)
+	c.Weight.W.FillNormal(r, 0, tensor.HeStd(k))
+	c.Bias = NewParam(name+".bias", outC)
+	c.Bias.NoDecay = true
+	return c
+}
+
+// NewConv builds a square-kernel convolution with symmetric stride/padding.
+func NewConv(name string, r *rng.Rand, inC, outC, k, stride, pad int, opts ConvOpts) *Conv2D {
+	return NewConv2D(name, r, inC, outC, k, k, stride, stride, pad, pad, opts)
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.useBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+func (c *Conv2D) geometry(x *tensor.Tensor) tensor.ConvGeom {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s: want NCHW input, got shape %v", c.name, x.Shape))
+	}
+	if x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s: input has %d channels, layer wants %d", c.name, x.Shape[1], c.InC))
+	}
+	g := tensor.ConvGeom{
+		InC: c.InC, InH: x.Shape[2], InW: x.Shape[3],
+		KH: c.KH, KW: c.KW,
+		StrideH: c.StrideH, StrideW: c.StrideW,
+		PadH: c.PadH, PadW: c.PadW,
+	}
+	g.Check()
+	return g
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geometry(x)
+	c.x, c.geom = x, g
+	n := x.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	k := c.InC * c.KH * c.KW
+	l := outH * outW
+	if cap(c.col) < k*l {
+		c.col = make([]float32, k*l)
+	}
+	col := c.col[:k*l]
+	y := tensor.New(n, c.OutC, outH, outW)
+	imLen := c.InC * g.InH * g.InW
+	colM := tensor.FromSlice(col, k, l)
+	for s := 0; s < n; s++ {
+		tensor.Im2Col(g, x.Data[s*imLen:(s+1)*imLen], col)
+		ym := tensor.FromSlice(y.Data[s*c.OutC*l:(s+1)*c.OutC*l], c.OutC, l)
+		tensor.Gemm(false, false, 1, c.Weight.W, colM, 0, ym)
+	}
+	if c.useBias {
+		bd := c.Bias.W.Data
+		yd := y.Data
+		for s := 0; s < n; s++ {
+			base := s * c.OutC * l
+			for oc := 0; oc < c.OutC; oc++ {
+				b := bd[oc]
+				row := yd[base+oc*l : base+(oc+1)*l]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	g := c.geom
+	x := c.x
+	n := x.Shape[0]
+	outH, outW := g.OutH(), g.OutW()
+	k := c.InC * c.KH * c.KW
+	l := outH * outW
+	col := c.col[:k*l]
+	colM := tensor.FromSlice(col, k, l)
+	dcol := make([]float32, k*l)
+	dcolM := tensor.FromSlice(dcol, k, l)
+	dx := tensor.New(x.Shape...)
+	imLen := c.InC * g.InH * g.InW
+
+	for s := 0; s < n; s++ {
+		dym := tensor.FromSlice(dout.Data[s*c.OutC*l:(s+1)*c.OutC*l], c.OutC, l)
+		// dW += dy · colᵀ  (recompute the im2col of the cached input).
+		tensor.Im2Col(g, x.Data[s*imLen:(s+1)*imLen], col)
+		tensor.Gemm(false, true, 1, dym, colM, 1, c.Weight.G)
+		// dx = col2im(Wᵀ · dy)
+		tensor.Gemm(true, false, 1, c.Weight.W, dym, 0, dcolM)
+		tensor.Col2Im(g, dcol, dx.Data[s*imLen:(s+1)*imLen])
+	}
+	if c.useBias {
+		gd := c.Bias.G.Data
+		for s := 0; s < n; s++ {
+			base := s * c.OutC * l
+			for oc := 0; oc < c.OutC; oc++ {
+				row := dout.Data[base+oc*l : base+(oc+1)*l]
+				var sum float32
+				for _, v := range row {
+					sum += v
+				}
+				gd[oc] += sum
+			}
+		}
+	}
+	return dx
+}

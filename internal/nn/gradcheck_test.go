@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// lossOf computes the scalar test loss <Forward(x), c> in float64.
+func lossOf(l Layer, x, c *tensor.Tensor, train bool) float64 {
+	y := l.Forward(x, train)
+	return y.Dot(c)
+}
+
+// checkGradients validates a layer's Backward against central finite
+// differences of the loss L(x, θ) = <Forward(x, θ), c> for a random fixed c.
+// It checks both the input gradient and every parameter gradient.
+//
+// The step h and tolerance are chosen for float32 forward passes with
+// float64 loss accumulation: central differences have O(h²) truncation error
+// while float32 rounding contributes ~1e-7·‖y‖/h noise, so h around 1e-2..1e-3
+// balances the two at a few percent accuracy.
+func checkGradients(t *testing.T, l Layer, x *tensor.Tensor, train bool) {
+	t.Helper()
+	r := rng.New(999)
+	y := l.Forward(x, train)
+	c := tensor.RandNormal(r, 1, y.Shape...)
+
+	// Analytic gradients: re-run forward so caches match, then backprop c.
+	for _, p := range l.Params() {
+		p.G.Zero()
+	}
+	l.Forward(x, train)
+	dx := l.Backward(c.Clone())
+
+	const h = 1e-2
+	const tol = 5e-2
+
+	compare := func(kind string, buf []float32, analytic []float32, idxs []int) {
+		t.Helper()
+		for _, i := range idxs {
+			orig := buf[i]
+			buf[i] = orig + h
+			lp := lossOf(l, x, c, train)
+			buf[i] = orig - h
+			lm := lossOf(l, x, c, train)
+			buf[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			got := float64(analytic[i])
+			scale := math.Abs(numeric) + math.Abs(got) + 1e-3
+			if math.Abs(numeric-got)/scale > tol {
+				t.Errorf("%s[%d]: analytic %.6g vs numeric %.6g", kind, i, got, numeric)
+			}
+		}
+	}
+
+	// Sample a handful of coordinates rather than the full tensor to keep
+	// the O(2·numel) forward passes affordable.
+	sample := func(n int) []int {
+		if n <= 12 {
+			idxs := make([]int, n)
+			for i := range idxs {
+				idxs[i] = i
+			}
+			return idxs
+		}
+		rr := rng.New(uint64(n))
+		idxs := make([]int, 12)
+		for i := range idxs {
+			idxs[i] = rr.Intn(n)
+		}
+		return idxs
+	}
+
+	compare("dx", x.Data, dx.Data, sample(x.Numel()))
+	for _, p := range l.Params() {
+		compare(p.Name, p.W.Data, p.G.Data, sample(p.Numel()))
+	}
+}

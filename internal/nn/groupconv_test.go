@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestGroupedConvShapes(t *testing.T) {
+	r := rng.New(1)
+	g := NewGroupedConv("gc", r, 4, 6, 3, 1, 1, 2, ConvOpts{})
+	x := tensor.RandNormal(r, 1, 2, 4, 5, 5)
+	y := g.Forward(x, true)
+	want := []int{2, 6, 5, 5}
+	for i := range want {
+		if y.Shape[i] != want[i] {
+			t.Fatalf("output shape %v, want %v", y.Shape, want)
+		}
+	}
+}
+
+func TestGroupedConvParamCount(t *testing.T) {
+	r := rng.New(2)
+	// groups=2: each group has outC/2 x (inC/2 x k x k) weights + outC/2 biases.
+	g := NewGroupedConv("gc", r, 8, 16, 3, 1, 1, 2, ConvOpts{})
+	total := 0
+	for _, p := range g.Params() {
+		total += p.Numel()
+	}
+	want := 2 * (8 * (4 * 9)) // weights
+	want += 16                // biases
+	if total != want {
+		t.Fatalf("grouped conv params = %d, want %d", total, want)
+	}
+	// Same layer ungrouped has twice the weights.
+	u := NewConv("c", r, 8, 16, 3, 1, 1, ConvOpts{})
+	utotal := 0
+	for _, p := range u.Params() {
+		utotal += p.Numel()
+	}
+	if utotal <= total {
+		t.Fatalf("ungrouped (%d) should exceed grouped (%d)", utotal, total)
+	}
+}
+
+// TestGroupedConvEqualsBlockDiagonal verifies the defining property: a
+// grouped conv equals an ungrouped conv whose weight matrix is block
+// diagonal (zero cross-group weights).
+func TestGroupedConvEqualsBlockDiagonal(t *testing.T) {
+	r := rng.New(3)
+	const inC, outC, k, groups = 4, 4, 3, 2
+	g := NewGroupedConv("gc", r, inC, outC, k, 1, 1, groups, ConvOpts{})
+	u := NewConv("c", rng.New(99), inC, outC, k, 1, 1, ConvOpts{})
+
+	// Build u's weights from g's: group gi covers input channels
+	// [gi*inC/G,...) and output channels [gi*outC/G,...); everything else 0.
+	u.Weight.W.Zero()
+	u.Bias.W.Zero()
+	inPer, outPer := inC/groups, outC/groups
+	kk := k * k
+	for gi := 0; gi < groups; gi++ {
+		gw := g.convs[gi].Weight.W // [outPer, inPer*k*k]
+		gb := g.convs[gi].Bias.W
+		for oc := 0; oc < outPer; oc++ {
+			globalOC := gi*outPer + oc
+			for ic := 0; ic < inPer; ic++ {
+				globalIC := gi*inPer + ic
+				for j := 0; j < kk; j++ {
+					u.Weight.W.Data[globalOC*(inC*kk)+globalIC*kk+j] = gw.Data[oc*(inPer*kk)+ic*kk+j]
+				}
+			}
+			u.Bias.W.Data[globalOC] = gb.Data[oc]
+		}
+	}
+
+	x := tensor.RandNormal(r, 1, 2, inC, 6, 6)
+	yg := g.Forward(x, true)
+	yu := u.Forward(x, true)
+	for i := range yu.Data {
+		if math.Abs(float64(yg.Data[i]-yu.Data[i])) > 1e-4 {
+			t.Fatalf("grouped != block-diagonal at %d: %v vs %v", i, yg.Data[i], yu.Data[i])
+		}
+	}
+}
+
+func TestGroupedConvGradients(t *testing.T) {
+	r := rng.New(4)
+	g := NewGroupedConv("gc", r, 4, 4, 3, 1, 1, 2, ConvOpts{})
+	x := tensor.RandNormal(r, 1, 2, 4, 5, 5)
+	checkGradients(t, g, x, true)
+}
+
+func TestGroupedConvSingleGroupMatchesConv(t *testing.T) {
+	// groups=1 must behave exactly like a plain Conv2D with the same
+	// weights.
+	r1, r2 := rng.New(5), rng.New(5)
+	g := NewGroupedConv("gc", r1, 3, 4, 3, 2, 1, 1, ConvOpts{})
+	c := NewConv("c", r2, 3, 4, 3, 2, 1, ConvOpts{})
+	// Identical RNG seeds walk identical init streams (one conv each).
+	x := tensor.RandNormal(rng.New(6), 1, 2, 3, 7, 7)
+	yg := g.Forward(x, true)
+	yc := c.Forward(x, true)
+	for i := range yc.Data {
+		if yg.Data[i] != yc.Data[i] {
+			t.Fatalf("groups=1 differs from Conv2D at %d", i)
+		}
+	}
+}
+
+func TestGroupedConvBadGroupsPanics(t *testing.T) {
+	defer expectPanic(t, "groups not dividing channels")
+	NewGroupedConv("gc", rng.New(1), 3, 4, 3, 1, 1, 2, ConvOpts{})
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TestBatchNormScaleInvarianceProperty: in training mode, BN output is
+// invariant to any positive per-channel affine rescaling of its input —
+// the property that makes the network's loss invariant to weight scale in
+// BN-equipped layers, which in turn is why LARS's norm-based trust ratio is
+// meaningful (the gradient norm shrinks as the weight norm grows, and only
+// the ratio matters).
+func TestBatchNormScaleInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, scaleBits, shiftBits uint8) bool {
+		scale := 0.25 + float32(scaleBits)/32 // (0.25, 8.2)
+		shift := float32(shiftBits)/64 - 2
+		r := rng.New(seed)
+		x := tensor.RandNormal(r, 1, 6, 3, 4, 4)
+		bn1 := NewBatchNorm("bn1", 3)
+		bn2 := NewBatchNorm("bn2", 3)
+		y1 := bn1.Forward(x, true)
+		scaled := x.Clone()
+		scaled.Scale(scale)
+		scaled.AddScalar(shift)
+		y2 := bn2.Forward(scaled, true)
+		for i := range y1.Data {
+			if math.Abs(float64(y1.Data[i]-y2.Data[i])) > 2e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftmaxShiftInvarianceProperty: the loss is invariant to adding any
+// constant to all logits of a row (softmax normalization), which is exactly
+// the redundancy the stable implementation exploits.
+func TestSoftmaxShiftInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, shiftBits uint8) bool {
+		shift := float32(shiftBits) - 128
+		r := rng.New(seed)
+		logits := tensor.RandNormal(r, 1, 4, 5)
+		labels := []int{0, 1, 2, 3}
+		var l1, l2 SoftmaxCrossEntropy
+		a := l1.Forward(logits, labels)
+		shifted := logits.Clone()
+		shifted.AddScalar(shift)
+		b := l2.Forward(shifted, labels)
+		return math.Abs(a-b) < 1e-5*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReLUIdempotentProperty: ReLU(ReLU(x)) == ReLU(x).
+func TestReLUIdempotentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.RandNormal(r, 1, 37)
+		l1, l2 := NewReLU("a"), NewReLU("b")
+		once := l1.Forward(x, true)
+		twice := l2.Forward(once, true)
+		for i := range once.Data {
+			if once.Data[i] != twice.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxPoolDominanceProperty: every pooled output equals some input value
+// and is >= all values in its window (spot-checked via global bounds).
+func TestMaxPoolDominanceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.RandNormal(r, 1, 2, 2, 6, 6)
+		y := NewMaxPool("p", 2, 2, 0).Forward(x, true)
+		maxIn := x.MaxAbs()
+		for _, v := range y.Data {
+			if v > maxIn {
+				return false
+			}
+		}
+		// The global max always survives pooling (window cover is total).
+		var globalMax float32 = -1e30
+		for _, v := range x.Data {
+			if v > globalMax {
+				globalMax = v
+			}
+		}
+		var pooledMax float32 = -1e30
+		for _, v := range y.Data {
+			if v > pooledMax {
+				pooledMax = v
+			}
+		}
+		return pooledMax == globalMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropoutExpectationProperty: inverted dropout preserves the expected
+// activation — the mean over many masks approaches the identity.
+func TestDropoutExpectationProperty(t *testing.T) {
+	l := NewDropout("d", rng.New(1), 0.5)
+	x := tensor.Ones(1, 512)
+	sum := tensor.New(1, 512)
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		y := l.Forward(x, true)
+		sum.Add(y)
+	}
+	sum.Scale(1.0 / trials)
+	var mean float64
+	for _, v := range sum.Data {
+		mean += float64(v)
+	}
+	mean /= float64(sum.Numel())
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("dropout expectation %v, want ~1", mean)
+	}
+}

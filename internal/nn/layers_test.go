@@ -1,0 +1,370 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestLinearForward(t *testing.T) {
+	r := rng.New(1)
+	l := NewLinear("fc", r, 3, 2)
+	l.Weight.W.CopyFrom(tensor.FromSlice([]float32{1, 0, 0, 0, 1, 0}, 2, 3))
+	l.Bias.W.CopyFrom(tensor.FromSlice([]float32{10, 20}, 2))
+	x := tensor.FromSlice([]float32{1, 2, 3}, 1, 3)
+	y := l.Forward(x, true)
+	if y.Data[0] != 11 || y.Data[1] != 22 {
+		t.Fatalf("Linear forward = %v, want [11 22]", y.Data)
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	r := rng.New(2)
+	l := NewLinear("fc", r, 5, 4)
+	x := tensor.RandNormal(r, 1, 3, 5)
+	checkGradients(t, l, x, true)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	l := NewReLU("relu")
+	x := tensor.FromSlice([]float32{-1, 0, 2, -3}, 4)
+	y := l.Forward(x, true)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("ReLU forward = %v", y.Data)
+		}
+	}
+	d := l.Backward(tensor.FromSlice([]float32{5, 5, 5, 5}, 4))
+	wantD := []float32{0, 0, 5, 0}
+	for i := range wantD {
+		if d.Data[i] != wantD[i] {
+			t.Fatalf("ReLU backward = %v", d.Data)
+		}
+	}
+}
+
+func TestReLUGradients(t *testing.T) {
+	r := rng.New(3)
+	x := tensor.RandNormal(r, 1, 4, 9)
+	// Shift away from 0 to avoid the kink in finite differences.
+	x.Apply(func(v float32) float32 {
+		if v > -0.05 && v < 0.05 {
+			return v + 0.2
+		}
+		return v
+	})
+	checkGradients(t, NewReLU("relu"), x, true)
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	l := NewMaxPool("pool", 2, 2, 0)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y := l.Forward(x, true)
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("MaxPool forward = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRouting(t *testing.T) {
+	l := NewMaxPool("pool", 2, 2, 0)
+	x := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	l.Forward(x, true)
+	d := l.Backward(tensor.FromSlice([]float32{7}, 1, 1, 1, 1))
+	want := []float32{0, 0, 0, 7}
+	for i := range want {
+		if d.Data[i] != want[i] {
+			t.Fatalf("MaxPool backward = %v, want %v", d.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	r := rng.New(4)
+	x := tensor.RandNormal(r, 1, 2, 3, 6, 6)
+	// MaxPool is piecewise linear; finite differences are valid as long as
+	// no two window entries tie, which has probability ~0 for normals.
+	checkGradients(t, NewMaxPool("pool", 2, 2, 0), x, true)
+}
+
+func TestMaxPoolOverlappingGradients(t *testing.T) {
+	r := rng.New(5)
+	x := tensor.RandNormal(r, 1, 1, 2, 7, 7)
+	// AlexNet-style overlapping pooling: 3x3 window stride 2.
+	checkGradients(t, NewMaxPool("pool", 3, 2, 0), x, true)
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	l := NewGlobalAvgPool("gap")
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	y := l.Forward(x, true)
+	if y.Shape[0] != 1 || y.Shape[1] != 2 {
+		t.Fatalf("GAP shape = %v", y.Shape)
+	}
+	if y.Data[0] != 2.5 || y.Data[1] != 25 {
+		t.Fatalf("GAP values = %v", y.Data)
+	}
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	r := rng.New(6)
+	x := tensor.RandNormal(r, 1, 2, 3, 4, 4)
+	checkGradients(t, NewGlobalAvgPool("gap"), x, true)
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	r := rng.New(7)
+	x := tensor.RandNormal(r, 1, 2, 2, 6, 6)
+	checkGradients(t, NewAvgPool("avg", 2, 2), x, true)
+}
+
+func TestBatchNormTrainStats(t *testing.T) {
+	r := rng.New(8)
+	bn := NewBatchNorm("bn", 3)
+	x := tensor.RandNormal(r, 5, 16, 3, 4, 4)
+	x.AddScalar(2)
+	y := bn.Forward(x, true)
+	// Per-channel mean ≈ 0, variance ≈ 1 after normalization (γ=1, β=0).
+	n, area := 16, 16
+	for c := 0; c < 3; c++ {
+		var sum, sumSq float64
+		for s := 0; s < n; s++ {
+			base := s*3*area + c*area
+			for i := 0; i < area; i++ {
+				v := float64(y.Data[base+i])
+				sum += v
+				sumSq += v * v
+			}
+		}
+		count := float64(n * area)
+		mean := sum / count
+		variance := sumSq/count - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean %v after BN", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d variance %v after BN", c, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	r := rng.New(9)
+	bn := NewBatchNorm("bn", 2)
+	x := tensor.RandNormal(r, 1, 8, 2, 3, 3)
+	// Train a few times to populate running stats.
+	for i := 0; i < 20; i++ {
+		bn.Forward(x, true)
+	}
+	yTrain := bn.Forward(x, true)
+	yEval := bn.Forward(x, false)
+	// Eval output should be close to train output once running stats have
+	// converged to this (fixed) batch's statistics.
+	var maxDiff float64
+	for i := range yTrain.Data {
+		d := math.Abs(float64(yTrain.Data[i] - yEval.Data[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.2 {
+		t.Fatalf("eval differs from train by %v after convergence", maxDiff)
+	}
+}
+
+func TestBatchNormGradientsSpatial(t *testing.T) {
+	r := rng.New(10)
+	bn := NewBatchNorm("bn", 3)
+	bn.Gamma.W.FillUniform(r, 0.5, 1.5)
+	bn.Beta.W.FillUniform(r, -0.5, 0.5)
+	x := tensor.RandNormal(r, 1, 4, 3, 3, 3)
+	checkGradients(t, bn, x, true)
+}
+
+func TestBatchNormGradientsDense(t *testing.T) {
+	r := rng.New(11)
+	bn := NewBatchNorm("bn", 6)
+	x := tensor.RandNormal(r, 1, 8, 6)
+	checkGradients(t, bn, x, true)
+}
+
+func TestLRNForwardIdentityAtZero(t *testing.T) {
+	l := NewLRN("lrn")
+	x := tensor.New(1, 4, 2, 2)
+	y := l.Forward(x, true)
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("LRN(0) = %v, want 0", v)
+		}
+	}
+}
+
+func TestLRNNormalizes(t *testing.T) {
+	l := NewLRN("lrn")
+	// Large activations should be scaled down by more than small ones.
+	big := tensor.Full(10, 1, 5, 1, 1)
+	yBig := l.Forward(big, true)
+	small := tensor.Full(0.1, 1, 5, 1, 1)
+	ySmall := l.Forward(small, true)
+	ratioBig := yBig.Data[2] / 10
+	ratioSmall := ySmall.Data[2] / 0.1
+	if ratioBig >= ratioSmall {
+		t.Fatalf("LRN should suppress large activations more: %v vs %v", ratioBig, ratioSmall)
+	}
+}
+
+func TestLRNGradients(t *testing.T) {
+	r := rng.New(12)
+	x := tensor.RandNormal(r, 1, 2, 7, 3, 3)
+	checkGradients(t, NewLRN("lrn"), x, true)
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	r := rng.New(13)
+	l := NewDropout("drop", r, 0.5)
+	x := tensor.RandNormal(r, 1, 4, 8)
+	y := l.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("dropout must be identity in eval mode")
+		}
+	}
+}
+
+func TestDropoutMaskConsistency(t *testing.T) {
+	r := rng.New(14)
+	l := NewDropout("drop", r, 0.5)
+	x := tensor.Ones(1, 1000)
+	y := l.Forward(x, true)
+	dropped := 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			dropped++
+		case 2: // survivors scaled by 1/(1-p) = 2
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if dropped < 350 || dropped > 650 {
+		t.Fatalf("dropped %d of 1000 at p=0.5", dropped)
+	}
+	// Backward must reuse the same mask.
+	d := l.Backward(tensor.Ones(1, 1000))
+	for i := range d.Data {
+		if (y.Data[i] == 0) != (d.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	r := rng.New(15)
+	x := tensor.RandNormal(r, 1, 2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Shape[0] != 2 || y.Shape[1] != 60 {
+		t.Fatalf("Flatten shape %v", y.Shape)
+	}
+	d := f.Backward(y)
+	if len(d.Shape) != 4 || d.Shape[3] != 5 {
+		t.Fatalf("Flatten backward shape %v", d.Shape)
+	}
+}
+
+func TestResidualIdentityGradients(t *testing.T) {
+	r := rng.New(16)
+	body := NewNetwork("body",
+		NewConv("c1", r, 3, 3, 3, 1, 1, ConvOpts{NoBias: true}),
+		NewBatchNorm("bn1", 3),
+	)
+	// Bias the pre-ReLU sum well away from zero: finite differences are
+	// invalid at the ReLU kink, and with BN output (mean 0) plus a mean-0
+	// input most sums would otherwise sit right at it.
+	body.Layers[1].(*BatchNorm).Beta.W.Fill(3)
+	block := NewResidual("res", body, nil)
+	x := tensor.RandNormal(r, 1, 2, 3, 4, 4)
+	x.AddScalar(3)
+	checkGradients(t, block, x, true)
+}
+
+func TestResidualProjectionGradients(t *testing.T) {
+	r := rng.New(17)
+	body := NewNetwork("body",
+		NewConv("c1", r, 2, 4, 3, 2, 1, ConvOpts{NoBias: true}),
+		NewBatchNorm("bn1", 4),
+	)
+	shortcut := NewNetwork("short",
+		NewConv("cs", r, 2, 4, 1, 2, 0, ConvOpts{NoBias: true}),
+		NewBatchNorm("bns", 4),
+	)
+	// Keep pre-ReLU sums away from the kink (see identity test).
+	body.Layers[1].(*BatchNorm).Beta.W.Fill(4)
+	block := NewResidual("res", body, shortcut)
+	x := tensor.RandNormal(r, 1, 2, 2, 6, 6)
+	checkGradients(t, block, x, true)
+}
+
+func TestNetworkComposition(t *testing.T) {
+	r := rng.New(18)
+	net := NewNetwork("mlp",
+		NewLinear("fc1", r, 10, 8),
+		NewReLU("relu1"),
+		NewLinear("fc2", r, 8, 4),
+	)
+	if got := net.NumParams(); got != 10*8+8+8*4+4 {
+		t.Fatalf("NumParams = %d", got)
+	}
+	x := tensor.RandNormal(r, 1, 3, 10)
+	y := net.Forward(x, true)
+	if y.Shape[0] != 3 || y.Shape[1] != 4 {
+		t.Fatalf("network output shape %v", y.Shape)
+	}
+	net.ZeroGrad()
+	for _, p := range net.Params() {
+		if p.G.Norm2() != 0 {
+			t.Fatal("ZeroGrad left nonzero gradient")
+		}
+	}
+}
+
+func TestNetworkGradients(t *testing.T) {
+	r := rng.New(19)
+	net := NewNetwork("cnn",
+		NewConv("c1", r, 1, 2, 3, 1, 1, ConvOpts{}),
+		NewReLU("r1"),
+		NewMaxPool("p1", 2, 2, 0),
+		NewFlatten(),
+		NewLinear("fc", r, 2*3*3, 4),
+	)
+	x := tensor.RandNormal(r, 1, 2, 1, 6, 6)
+	checkGradients(t, net, x, true)
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	r1, r2 := rng.New(20), rng.New(21)
+	a := NewNetwork("a", NewLinear("fc", r1, 4, 4))
+	b := NewNetwork("b", NewLinear("fc", r2, 4, 4))
+	b.CopyWeightsFrom(a)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatal("weights not copied")
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// LRN is AlexNet's local response normalization across channels:
+//
+//	y_c = x_c · d_c^{-β},  d_c = k + (α/n)·Σ_{c' ∈ window(c)} x_{c'}²
+//
+// where the window spans n adjacent channels centred on c. The paper keeps
+// LRN for batch sizes up to 8K and replaces it with BatchNorm for 32K
+// (Table 7/8 note); this implementation exists so both model variants can be
+// built and compared.
+type LRN struct {
+	name  string
+	N     int     // window size (channels), default 5
+	Alpha float32 // default 1e-4
+	Beta  float32 // default 0.75
+	K     float32 // default 2 (Krizhevsky's constant)
+
+	x       *tensor.Tensor
+	scale   *tensor.Tensor // cached d values
+	inShape []int
+}
+
+// NewLRN returns an LRN layer with AlexNet's published constants.
+func NewLRN(name string) *LRN {
+	return &LRN{name: name, N: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s: want NCHW input, got %v", l.name, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	l.x = x
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	l.scale = tensor.New(x.Shape...)
+	y := tensor.New(x.Shape...)
+	area := h * w
+	half := l.N / 2
+	coeff := l.Alpha / float32(l.N)
+
+	par.ForGrain(n, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			base := s * c * area
+			for pos := 0; pos < area; pos++ {
+				// Sliding window over channels at this spatial position.
+				var window float32
+				for cc := 0; cc < min(half+1, c); cc++ {
+					v := x.Data[base+cc*area+pos]
+					window += v * v
+				}
+				for ch := 0; ch < c; ch++ {
+					d := l.K + coeff*window
+					l.scale.Data[base+ch*area+pos] = d
+					y.Data[base+ch*area+pos] = x.Data[base+ch*area+pos] * float32(math.Pow(float64(d), -float64(l.Beta)))
+					// Slide: add entering channel, remove leaving channel.
+					if enter := ch + half + 1; enter < c {
+						v := x.Data[base+enter*area+pos]
+						window += v * v
+					}
+					if leave := ch - half; leave >= 0 {
+						v := x.Data[base+leave*area+pos]
+						window -= v * v
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer. With d_c cached from the forward pass,
+//
+//	dx_j = dy_j·d_j^{-β} − (2αβ/n)·x_j·Σ_{c: j∈window(c)} dy_c·x_c·d_c^{-β-1}
+func (l *LRN) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c := l.inShape[0], l.inShape[1]
+	area := l.inShape[2] * l.inShape[3]
+	dx := tensor.New(l.inShape...)
+	half := l.N / 2
+	factor := 2 * l.Alpha * l.Beta / float32(l.N)
+
+	par.ForGrain(n, 1, func(lo, hi int) {
+		// t_c = dy_c · x_c · d_c^{-β-1}, then windowed sum over c.
+		t := make([]float32, c)
+		for s := lo; s < hi; s++ {
+			base := s * c * area
+			for pos := 0; pos < area; pos++ {
+				for ch := 0; ch < c; ch++ {
+					i := base + ch*area + pos
+					d := float64(l.scale.Data[i])
+					t[ch] = dout.Data[i] * l.x.Data[i] * float32(math.Pow(d, -float64(l.Beta)-1))
+				}
+				var window float32
+				for cc := 0; cc < min(half+1, c); cc++ {
+					window += t[cc]
+				}
+				for j := 0; j < c; j++ {
+					i := base + j*area + pos
+					d := float64(l.scale.Data[i])
+					dx.Data[i] = dout.Data[i]*float32(math.Pow(d, -float64(l.Beta))) - factor*l.x.Data[i]*window
+					if enter := j + half + 1; enter < c {
+						window += t[enter]
+					}
+					if leave := j - half; leave >= 0 {
+						window -= t[leave]
+					}
+				}
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,157 @@
+// Package nn implements the neural-network layers used to reproduce the
+// paper's models: convolutions, fully-connected layers, batch normalization,
+// local response normalization (the AlexNet original; the paper swaps it for
+// BN at batch 32K), pooling, ReLU, dropout, residual blocks and the
+// softmax-cross-entropy loss.
+//
+// Every layer implements exact reverse-mode gradients (validated against
+// finite differences in the tests). Gradients accumulate into Param.G so a
+// batch can be processed in micro-batches; call Network.ZeroGrad between
+// optimizer steps.
+//
+// A Layer instance owns scratch buffers and cached activations, so it must
+// not be shared between goroutines. Data-parallel training (internal/dist)
+// gives each worker its own replica and synchronizes parameters explicitly,
+// which is exactly the structure of the paper's synchronous SGD.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is one learnable tensor together with its gradient accumulator.
+// LARS operates on Params: each Param gets its own trust ratio computed from
+// ‖W‖ and ‖G‖ (the "layer-wise" in Layer-wise Adaptive Rate Scaling).
+type Param struct {
+	Name string
+	W    *tensor.Tensor // value
+	G    *tensor.Tensor // gradient accumulator, same shape as W
+	// NoDecay marks parameters conventionally excluded from weight decay
+	// and from LARS scaling (biases, batch-norm gain/shift).
+	NoDecay bool
+}
+
+// NewParam allocates a parameter and its gradient with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...)}
+}
+
+// Numel returns the number of scalar weights.
+func (p *Param) Numel() int { return p.W.Numel() }
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// Backward consumes the gradient w.r.t. the layer output and returns the
+// gradient w.r.t. the layer input, accumulating parameter gradients on the
+// way.
+type Layer interface {
+	// Name identifies the layer in logs and LARS statistics.
+	Name() string
+	// Forward computes the layer output. train selects training behaviour
+	// (batch statistics, dropout masks).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates dout (gradient w.r.t. the last Forward output)
+	// and returns the gradient w.r.t. that Forward's input.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters, possibly empty.
+	Params() []*Param
+}
+
+// Network is an ordered sequence of layers behaving as a single Layer.
+type Network struct {
+	name   string
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network.
+func NewNetwork(name string, layers ...Layer) *Network {
+	return &Network{name: name, Layers: layers}
+}
+
+// Name returns the network's identifying name.
+func (n *Network) Name() string { return n.name }
+
+// Add appends layers.
+func (n *Network) Add(layers ...Layer) { n.Layers = append(n.Layers, layers...) }
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns the parameters of all layers in order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar weights, the |W| of the
+// paper's communication-volume analysis.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Numel()
+	}
+	return total
+}
+
+// CopyWeightsFrom copies all parameter values (not gradients) from src.
+// Both networks must have identical architecture. It is how dist workers
+// receive the broadcast global weights.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	dst, s := n.Params(), src.Params()
+	if len(dst) != len(s) {
+		panic(fmt.Sprintf("nn: CopyWeightsFrom: %d params vs %d", len(dst), len(s)))
+	}
+	for i := range dst {
+		dst[i].W.CopyFrom(s[i].W)
+	}
+}
+
+// Flatten reshapes [N, ...] activations to [N, features]. It is a pure view
+// change; gradients flow through as a reshape as well.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Shape[0], -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestSmoothingZeroMatchesPlain(t *testing.T) {
+	r := rng.New(1)
+	logits := tensor.RandNormal(r, 1, 3, 5)
+	labels := []int{0, 2, 4}
+	plain := &SoftmaxCrossEntropy{}
+	smooth := &SoftmaxCrossEntropy{Smoothing: 0}
+	if plain.Forward(logits, labels) != smooth.Forward(logits, labels) {
+		t.Fatal("Smoothing=0 must match the plain loss")
+	}
+}
+
+func TestSmoothedLossHigherOnConfidentCorrect(t *testing.T) {
+	// A perfectly confident correct prediction has ~0 plain loss but a
+	// positive smoothed loss (the uniform component penalizes certainty).
+	logits := tensor.FromSlice([]float32{100, 0, 0, 0}, 1, 4)
+	plain := &SoftmaxCrossEntropy{}
+	if l := plain.Forward(logits, []int{0}); l > 1e-6 {
+		t.Fatalf("plain loss = %v", l)
+	}
+	smooth := &SoftmaxCrossEntropy{Smoothing: 0.1}
+	if l := smooth.Forward(logits, []int{0}); l < 1 {
+		t.Fatalf("smoothed loss on overconfident logits = %v, want >= 1", l)
+	}
+}
+
+func TestSmoothedGradientNumeric(t *testing.T) {
+	l := &SoftmaxCrossEntropy{Smoothing: 0.2}
+	r := rng.New(2)
+	logits := tensor.RandNormal(r, 1, 2, 4)
+	labels := []int{3, 1}
+	l.Forward(logits, labels)
+	grad := l.Backward()
+	const h = 1e-3
+	for i := 0; i < logits.Numel(); i++ {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp := l.Forward(logits, labels)
+		logits.Data[i] = orig - h
+		lm := l.Forward(logits, labels)
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("smoothed grad[%d]: analytic %v vs numeric %v", i, grad.Data[i], numeric)
+		}
+	}
+}
+
+func TestSmoothedGradientRowSumsZero(t *testing.T) {
+	l := &SoftmaxCrossEntropy{Smoothing: 0.3}
+	r := rng.New(3)
+	logits := tensor.RandNormal(r, 1, 4, 6)
+	l.Forward(logits, []int{0, 1, 2, 3})
+	grad := l.Backward()
+	for s := 0; s < 4; s++ {
+		var sum float64
+		for j := 0; j < 6; j++ {
+			sum += float64(grad.Data[s*6+j])
+		}
+		if math.Abs(sum) > 1e-6 {
+			t.Fatalf("row %d sums to %v", s, sum)
+		}
+	}
+}
+
+func TestSmoothedOptimumIsSmoothedTarget(t *testing.T) {
+	// Minimizing the smoothed loss over logits should drive the softmax
+	// toward (1-eps)+eps/K on the label and eps/K elsewhere.
+	const k = 4
+	const eps = 0.2
+	l := &SoftmaxCrossEntropy{Smoothing: eps}
+	logits := tensor.New(1, k)
+	labels := []int{1}
+	for step := 0; step < 4000; step++ {
+		l.Forward(logits, labels)
+		g := l.Backward()
+		logits.Axpy(-1.0, g)
+	}
+	l.Forward(logits, labels)
+	p := l.Probs()
+	wantLabel := 1 - eps + eps/k
+	if math.Abs(float64(p.Data[1])-wantLabel) > 0.01 {
+		t.Fatalf("optimal label prob = %v, want %v", p.Data[1], wantLabel)
+	}
+	if math.Abs(float64(p.Data[0])-eps/k) > 0.01 {
+		t.Fatalf("optimal off-label prob = %v, want %v", p.Data[0], eps/k)
+	}
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestCosineEndpoints(t *testing.T) {
+	s := Cosine{Base: 1.0, Min: 0.1}
+	if got := s.LR(0, 100); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("cosine start = %v, want 1.0", got)
+	}
+	if got := s.LR(100, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("cosine end = %v, want 0.1", got)
+	}
+	if got := s.LR(50, 100); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("cosine midpoint = %v, want 0.55", got)
+	}
+}
+
+func TestCosineMonotoneDecreasing(t *testing.T) {
+	s := Cosine{Base: 2, Min: 0}
+	prev := math.Inf(1)
+	for step := 0; step <= 128; step++ {
+		v := s.LR(step, 128)
+		if v > prev+1e-12 {
+			t.Fatalf("cosine increased at step %d", step)
+		}
+		prev = v
+	}
+}
+
+func TestLARCClipCapsLocalRate(t *testing.T) {
+	p := nn.NewParam("w", 128)
+	r := rng.New(1)
+	p.W.FillNormal(r, 0, 10)   // big weights...
+	p.G.FillNormal(r, 0, 1e-6) // ...tiny gradient: raw trust ratio explodes
+	unclipped := NewLARS([]*nn.Param{p}, LARSConfig{Trust: 0.05, Eps: 1e-12})
+	unclipped.Step(0.1)
+	if unclipped.TrustRatios()[0] <= 1 {
+		t.Fatalf("setup should yield a huge raw ratio, got %v", unclipped.TrustRatios()[0])
+	}
+
+	q := nn.NewParam("w", 128)
+	r2 := rng.New(1)
+	q.W.FillNormal(r2, 0, 10)
+	q.G.FillNormal(r2, 0, 1e-6)
+	clipped := NewLARS([]*nn.Param{q}, LARSConfig{Trust: 0.05, Eps: 1e-12, Clip: 1})
+	clipped.Step(0.1)
+	if got := clipped.TrustRatios()[0]; got != 1 {
+		t.Fatalf("clipped ratio = %v, want exactly 1", got)
+	}
+}
+
+func TestLARCClipInactiveWhenBelowCap(t *testing.T) {
+	mk := func(clip float64) []float64 {
+		p := nn.NewParam("w", 64)
+		r := rng.New(7)
+		p.W.FillNormal(r, 0, 1)
+		p.G.FillNormal(r, 0, 1)
+		l := NewLARS([]*nn.Param{p}, LARSConfig{Trust: 0.01, Clip: clip})
+		l.Step(0.1)
+		return l.TrustRatios()
+	}
+	without := mk(0)
+	with := mk(100) // far above any realistic ratio
+	if without[0] != with[0] {
+		t.Fatalf("inactive clip changed the ratio: %v vs %v", without[0], with[0])
+	}
+}
+
+func TestMultiStepDrops(t *testing.T) {
+	s := MultiStep{Base: 1, Milestones: []int{10, 20}, Gamma: 0.1}
+	if s.LR(5, 30) != 1 {
+		t.Fatal("rate before first milestone must be base")
+	}
+	if math.Abs(s.LR(15, 30)-0.1) > 1e-12 {
+		t.Fatalf("rate after first milestone = %v", s.LR(15, 30))
+	}
+	if math.Abs(s.LR(25, 30)-0.01) > 1e-12 {
+		t.Fatalf("rate after second milestone = %v", s.LR(25, 30))
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	for _, s := range []Schedule{
+		Constant{Base: 1}, Poly{Base: 1, Power: 2}, Cosine{Base: 1},
+		MultiStep{Base: 1}, Warmup{Inner: Constant{Base: 1}, WarmupSteps: 5},
+	} {
+		if s.String() == "" {
+			t.Fatalf("%T has empty String()", s)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LARSConfig configures Layer-wise Adaptive Rate Scaling.
+type LARSConfig struct {
+	Momentum    float64 // typically 0.9
+	WeightDecay float64 // typically 0.0005
+	// Trust is the LARS trust coefficient η; You/Gitman/Ginsburg use 0.001
+	// for ImageNet-scale networks.
+	Trust float64
+	// Eps guards the trust-ratio denominator for zero gradients.
+	Eps float64
+	// Clip, when positive, caps the local rate at Clip — the "LARC"
+	// refinement that followed the paper (clipping at 1 makes LARS never
+	// more aggressive than plain SGD at the scheduled global rate). Zero
+	// disables clipping, matching the original algorithm.
+	Clip float64
+}
+
+// DefaultLARSConfig returns the paper's hyperparameters.
+func DefaultLARSConfig() LARSConfig {
+	return LARSConfig{Momentum: 0.9, WeightDecay: 0.0005, Trust: 0.001, Eps: 1e-9}
+}
+
+// LARS implements Layer-wise Adaptive Rate Scaling, the paper's core
+// algorithm. Each layer (parameter tensor) ℓ gets its own local rate derived
+// from the ratio of weight norm to gradient norm:
+//
+//	localLR = Trust · ‖w_ℓ‖ / (‖∇w_ℓ‖ + λ‖w_ℓ‖)
+//	v_ℓ ← m·v_ℓ + lr·localLR·(∇w_ℓ + λ·w_ℓ)
+//	w_ℓ ← w_ℓ − v_ℓ
+//
+// The intuition: with very large batches the linear scaling rule demands a
+// global rate so large that layers whose ‖∇w‖/‖w‖ is big (early conv layers)
+// diverge while others barely move. Normalizing the step size per layer
+// keeps every layer's relative update ‖Δw‖/‖w‖ ≈ Trust·lr, which is what
+// lets batch size reach 32K without accuracy loss (Figure 4, Table 7).
+//
+// Parameters marked NoDecay (biases, BN affine) fall back to plain momentum
+// SGD without decay, mirroring the reference NVIDIA Caffe implementation.
+type LARS struct {
+	cfg      LARSConfig
+	params   []*nn.Param
+	velocity []*tensor.Tensor
+	// ratios records the most recent local rate per parameter for
+	// diagnostics (the LARS statistics the paper plots informally).
+	ratios []float64
+}
+
+// NewLARS builds a LARS optimizer over params.
+func NewLARS(params []*nn.Param, cfg LARSConfig) *LARS {
+	if cfg.Trust == 0 {
+		cfg.Trust = 0.001
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 1e-9
+	}
+	l := &LARS{cfg: cfg, params: params,
+		velocity: make([]*tensor.Tensor, len(params)),
+		ratios:   make([]float64, len(params)),
+	}
+	for i, p := range params {
+		l.velocity[i] = tensor.New(p.W.Shape...)
+	}
+	return l
+}
+
+// Name implements Optimizer.
+func (l *LARS) Name() string { return "lars" }
+
+// Step implements Optimizer.
+func (l *LARS) Step(lr float64) {
+	for i, p := range l.params {
+		v := l.velocity[i]
+		m := float32(l.cfg.Momentum)
+		if p.NoDecay {
+			// Plain momentum SGD for bias/BN parameters.
+			l.ratios[i] = 1
+			lrf := float32(lr)
+			vd, wd, gd := v.Data, p.W.Data, p.G.Data
+			for j := range vd {
+				vd[j] = m*vd[j] + lrf*gd[j]
+				wd[j] -= vd[j]
+			}
+			continue
+		}
+		wNorm := p.W.Norm2()
+		gNorm := p.G.Norm2()
+		local := 1.0
+		if wNorm > 0 {
+			local = l.cfg.Trust * wNorm / (gNorm + l.cfg.WeightDecay*wNorm + l.cfg.Eps)
+		}
+		if l.cfg.Clip > 0 && local > l.cfg.Clip {
+			local = l.cfg.Clip
+		}
+		l.ratios[i] = local
+		scale := float32(lr * local)
+		wd := float32(l.cfg.WeightDecay)
+		vd, wdta, gd := v.Data, p.W.Data, p.G.Data
+		for j := range vd {
+			grad := gd[j] + wd*wdta[j]
+			vd[j] = m*vd[j] + scale*grad
+			wdta[j] -= vd[j]
+		}
+	}
+}
+
+// TrustRatios returns the per-parameter local rates from the last Step, in
+// parameter order. Useful for diagnosing which layers LARS throttles.
+func (l *LARS) TrustRatios() []float64 {
+	out := make([]float64, len(l.ratios))
+	copy(out, l.ratios)
+	return out
+}

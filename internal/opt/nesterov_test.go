@@ -1,0 +1,74 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestNesterovDiffersFromHeavyBall(t *testing.T) {
+	mk := func(nesterov bool) float32 {
+		p := nn.NewParam("w", 1)
+		p.W.Data[0] = 1
+		s := NewSGD([]*nn.Param{p}, SGDConfig{Momentum: 0.9, Nesterov: nesterov})
+		for i := 0; i < 3; i++ {
+			p.G.Data[0] = 1
+			s.Step(0.1)
+		}
+		return p.W.Data[0]
+	}
+	hb, nag := mk(false), mk(true)
+	if hb == nag {
+		t.Fatal("Nesterov must differ from heavy ball under momentum")
+	}
+	// Nesterov takes larger effective steps on a constant gradient
+	// (lookahead adds m·v to each step).
+	if nag >= hb {
+		t.Fatalf("Nesterov (%v) should be ahead of heavy ball (%v) downhill", nag, hb)
+	}
+}
+
+func TestNesterovFirstStep(t *testing.T) {
+	// With zero initial velocity: v1 = lr·g; Nesterov step = m·v1 + lr·g.
+	p := nn.NewParam("w", 1)
+	p.W.Data[0] = 0
+	p.G.Data[0] = 2
+	s := NewSGD([]*nn.Param{p}, SGDConfig{Momentum: 0.5, Nesterov: true})
+	s.Step(0.1)
+	want := -(0.5*0.2 + 0.2)
+	if math.Abs(float64(p.W.Data[0])-want) > 1e-6 {
+		t.Fatalf("first Nesterov step = %v, want %v", p.W.Data[0], want)
+	}
+}
+
+func TestNesterovZeroMomentumMatchesPlain(t *testing.T) {
+	mk := func(nesterov bool) float32 {
+		p := nn.NewParam("w", 1)
+		p.W.Data[0] = 1
+		s := NewSGD([]*nn.Param{p}, SGDConfig{Momentum: 0, Nesterov: nesterov})
+		p.G.Data[0] = 0.5
+		s.Step(0.1)
+		return p.W.Data[0]
+	}
+	if mk(false) != mk(true) {
+		t.Fatal("with zero momentum Nesterov must equal plain SGD")
+	}
+}
+
+func TestNesterovConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = w²/2 (gradient w): both variants must converge, and
+	// neither should oscillate to a worse point than it started.
+	for _, nesterov := range []bool{false, true} {
+		p := nn.NewParam("w", 1)
+		p.W.Data[0] = 10
+		s := NewSGD([]*nn.Param{p}, SGDConfig{Momentum: 0.9, Nesterov: nesterov})
+		for i := 0; i < 300; i++ {
+			p.G.Data[0] = p.W.Data[0]
+			s.Step(0.05)
+		}
+		if math.Abs(float64(p.W.Data[0])) > 0.05 {
+			t.Errorf("nesterov=%v: failed to converge, w=%v", nesterov, p.W.Data[0])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package opt
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients. Step takes the learning rate explicitly so schedules stay
+// decoupled from update rules.
+type Optimizer interface {
+	// Step applies one update using the given global learning rate. The
+	// caller is responsible for zeroing gradients afterwards.
+	Step(lr float64)
+	// Name identifies the rule in experiment records.
+	Name() string
+}
+
+// SGDConfig configures momentum SGD.
+type SGDConfig struct {
+	Momentum    float64 // typically 0.9 (Tables 5 and 7)
+	WeightDecay float64 // typically 0.0005 for AlexNet, 0.0001 for ResNet
+	// Nesterov applies the lookahead correction: the step uses the
+	// momentum-extrapolated gradient m·v + lr·g instead of v alone. Off in
+	// the paper's experiments; provided for ablations.
+	Nesterov bool
+}
+
+// SGD is Caffe-style momentum SGD with L2 weight decay:
+//
+//	v ← m·v + lr·(∇w + λw)
+//	w ← w − v            (heavy ball)
+//	w ← w − (m·v + lr·g)  (Nesterov)
+//
+// Decay is skipped for parameters marked NoDecay (biases, BN affine).
+type SGD struct {
+	cfg      SGDConfig
+	params   []*nn.Param
+	velocity []*tensor.Tensor
+}
+
+// NewSGD builds a momentum-SGD optimizer over params.
+func NewSGD(params []*nn.Param, cfg SGDConfig) *SGD {
+	s := &SGD{cfg: cfg, params: params, velocity: make([]*tensor.Tensor, len(params))}
+	for i, p := range params {
+		s.velocity[i] = tensor.New(p.W.Shape...)
+	}
+	return s
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(lr float64) {
+	for i, p := range s.params {
+		v := s.velocity[i]
+		wd := float32(s.cfg.WeightDecay)
+		if p.NoDecay {
+			wd = 0
+		}
+		m := float32(s.cfg.Momentum)
+		lrf := float32(lr)
+		vd, wdta, gd := v.Data, p.W.Data, p.G.Data
+		if s.cfg.Nesterov {
+			for j := range vd {
+				grad := gd[j] + wd*wdta[j]
+				vd[j] = m*vd[j] + lrf*grad
+				wdta[j] -= m*vd[j] + lrf*grad
+			}
+		} else {
+			for j := range vd {
+				grad := gd[j] + wd*wdta[j]
+				vd[j] = m*vd[j] + lrf*grad
+				wdta[j] -= vd[j]
+			}
+		}
+	}
+}
+
+// Velocity exposes the momentum buffer for tests.
+func (s *SGD) Velocity(i int) *tensor.Tensor { return s.velocity[i] }

@@ -1,0 +1,83 @@
+// Package par provides tiny data-parallel loop helpers used by the tensor
+// and neural-network packages.
+//
+// The helpers split an index range into contiguous chunks and run each chunk
+// on its own goroutine, mirroring the "launch one piece per CPU and drain a
+// channel" idiom. Work is only parallelized when the range is large enough to
+// amortize goroutine startup, so small tensors stay on the caller's
+// goroutine and remain cheap.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallel is the smallest range size worth splitting across goroutines.
+// Below this the synchronization overhead dominates any speedup.
+const minParallel = 2048
+
+// MaxWorkers reports the degree of parallelism used by For: the number of
+// usable CPUs as configured by GOMAXPROCS.
+func MaxWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(lo, hi) over disjoint subranges covering [0, n). The body
+// must be safe to call concurrently on disjoint ranges. For small n the body
+// is invoked once on the calling goroutine.
+func For(n int, body func(lo, hi int)) {
+	ForGrain(n, minParallel, body)
+}
+
+// ForGrain is For with an explicit minimum chunk size. grain <= 0 means use
+// the default.
+func ForGrain(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = minParallel
+	}
+	workers := MaxWorkers()
+	if workers <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs every task concurrently and waits for all of them. It is used for
+// coarse-grained fan-out such as per-worker gradient computation.
+func Do(tasks ...func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}

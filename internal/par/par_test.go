@@ -1,0 +1,101 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	const n = 100000
+	hits := make([]int32, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for empty ranges")
+	}
+}
+
+func TestForSmallRunsInline(t *testing.T) {
+	calls := 0
+	ForGrain(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("inline call got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("small range split into %d calls", calls)
+	}
+}
+
+// Property: chunks returned by ForGrain are disjoint, ordered within
+// themselves, and cover [0, n) for arbitrary n and grain.
+func TestForGrainPartitionProperty(t *testing.T) {
+	f := func(nn uint16, gg uint8) bool {
+		n := int(nn % 5000)
+		grain := int(gg)
+		var mu sync.Mutex
+		covered := make([]bool, n)
+		ok := true
+		ForGrain(n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				ok = false
+				return
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					ok = false
+				}
+				covered[i] = true
+			}
+			mu.Unlock()
+		})
+		if !ok {
+			return false
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var n int32
+	Do(
+		func() { atomic.AddInt32(&n, 1) },
+		func() { atomic.AddInt32(&n, 10) },
+		func() { atomic.AddInt32(&n, 100) },
+	)
+	if n != 111 {
+		t.Fatalf("Do: n = %d, want 111", n)
+	}
+}
+
+func TestMaxWorkersPositive(t *testing.T) {
+	if MaxWorkers() < 1 {
+		t.Fatal("MaxWorkers must be >= 1")
+	}
+}

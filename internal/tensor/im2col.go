@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW    int // input channels and spatial extent
+	KH, KW           int // kernel extent
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Check panics if the geometry is degenerate.
+func (g ConvGeom) Check() {
+	if g.StrideH <= 0 || g.StrideW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry %+v", g))
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v yields empty output", g))
+	}
+}
+
+// Im2Col lowers one image (CHW layout, shape [InC*InH*InW]) into a patch
+// matrix of shape [InC*KH*KW, OutH*OutW] written into col. Each column holds
+// the receptive field of one output position, so a convolution becomes a
+// GEMM between the [outC, InC*KH*KW] filter matrix and this patch matrix.
+// Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(g ConvGeom, src []float32, col []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	rows := g.InC * g.KH * g.KW
+	if len(src) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col src has %d elements, want %d", len(src), g.InC*g.InH*g.InW))
+	}
+	if len(col) != rows*cols {
+		panic(fmt.Sprintf("tensor: Im2Col col has %d elements, want %d", len(col), rows*cols))
+	}
+	par.ForGrain(rows, 8, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			c := r / (g.KH * g.KW)
+			rem := r % (g.KH * g.KW)
+			kh := rem / g.KW
+			kw := rem % g.KW
+			dst := col[r*cols : (r+1)*cols]
+			plane := src[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+			idx := 0
+			for oh := 0; oh < outH; oh++ {
+				ih := oh*g.StrideH - g.PadH + kh
+				if ih < 0 || ih >= g.InH {
+					for ow := 0; ow < outW; ow++ {
+						dst[idx] = 0
+						idx++
+					}
+					continue
+				}
+				rowBase := ih * g.InW
+				iw := -g.PadW + kw
+				for ow := 0; ow < outW; ow++ {
+					if iw >= 0 && iw < g.InW {
+						dst[idx] = plane[rowBase+iw]
+					} else {
+						dst[idx] = 0
+					}
+					idx++
+					iw += g.StrideW
+				}
+			}
+		}
+	})
+}
+
+// Col2Im accumulates a patch matrix (the gradient of Im2Col's output) back
+// into an image gradient of CHW layout. It is the exact adjoint of Im2Col:
+// positions that were read k times receive the sum of k contributions, and
+// padding positions are dropped.
+func Col2Im(g ConvGeom, col []float32, dst []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	rows := g.InC * g.KH * g.KW
+	if len(dst) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im dst has %d elements, want %d", len(dst), g.InC*g.InH*g.InW))
+	}
+	if len(col) != rows*cols {
+		panic(fmt.Sprintf("tensor: Col2Im col has %d elements, want %d", len(col), rows*cols))
+	}
+	// Parallelize over input channels: every destination element belongs to
+	// exactly one channel, so channel-partitioned writes never race.
+	par.ForGrain(g.InC, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			plane := dst[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+			for kh := 0; kh < g.KH; kh++ {
+				for kw := 0; kw < g.KW; kw++ {
+					r := (c*g.KH+kh)*g.KW + kw
+					src := col[r*cols : (r+1)*cols]
+					idx := 0
+					for oh := 0; oh < outH; oh++ {
+						ih := oh*g.StrideH - g.PadH + kh
+						if ih < 0 || ih >= g.InH {
+							idx += outW
+							continue
+						}
+						rowBase := ih * g.InW
+						iw := -g.PadW + kw
+						for ow := 0; ow < outW; ow++ {
+							if iw >= 0 && iw < g.InW {
+								plane[rowBase+iw] += src[idx]
+							}
+							idx++
+							iw += g.StrideW
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// naiveConvOut computes one output position of a convolution directly, for
+// validating the im2col lowering.
+func naiveConvOut(g ConvGeom, src, filter []float32, oh, ow int) float32 {
+	var s float32
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				ih := oh*g.StrideH - g.PadH + kh
+				iw := ow*g.StrideW - g.PadW + kw
+				if ih < 0 || ih >= g.InH || iw < 0 || iw >= g.InW {
+					continue
+				}
+				s += src[(c*g.InH+ih)*g.InW+iw] * filter[(c*g.KH+kh)*g.KW+kw]
+			}
+		}
+	}
+	return s
+}
+
+func TestConvGeomOutput(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 224, InW: 224, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	if g.OutH() != 112 || g.OutW() != 112 {
+		t.Fatalf("ResNet conv1 geometry: got %dx%d, want 112x112", g.OutH(), g.OutW())
+	}
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 5, InW: 6, KH: 3, KW: 3, StrideH: 1, StrideW: 2, PadH: 1, PadW: 1}
+	g.Check()
+	r := rng.New(11)
+	src := RandNormal(r, 1, g.InC*g.InH*g.InW)
+	filter := RandNormal(r, 1, g.InC*g.KH*g.KW)
+	rows := g.InC * g.KH * g.KW
+	cols := g.OutH() * g.OutW()
+	col := make([]float32, rows*cols)
+	Im2Col(g, src.Data, col)
+	// filterᵀ · col should equal the direct convolution at every position.
+	fm := FromSlice(filter.Data, 1, rows)
+	cm := FromSlice(col, rows, cols)
+	out := MatMul(fm, cm)
+	for oh := 0; oh < g.OutH(); oh++ {
+		for ow := 0; ow < g.OutW(); ow++ {
+			want := naiveConvOut(g, src.Data, filter.Data, oh, ow)
+			got := out.Data[oh*g.OutW()+ow]
+			if !almostEq(float64(got), float64(want), 1e-4) {
+				t.Fatalf("conv mismatch at (%d,%d): %v vs %v", oh, ow, got, want)
+			}
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. <Im2Col(x), y> == <x, Col2Im(y)>
+// for all x, y. This is exactly the condition for the conv backward pass to
+// compute correct input gradients.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed uint64, s1, s2 uint8) bool {
+		g := ConvGeom{
+			InC: int(s1%3) + 1, InH: int(s2%5) + 3, InW: int(s1%4) + 3,
+			KH: 3, KW: 2, StrideH: int(s2%2) + 1, StrideW: 1, PadH: 1, PadW: 1,
+		}
+		g.Check()
+		r := rng.New(seed)
+		rows := g.InC * g.KH * g.KW
+		cols := g.OutH() * g.OutW()
+		x := RandNormal(r, 1, g.InC*g.InH*g.InW)
+		y := RandNormal(r, 1, rows*cols)
+		colX := make([]float32, rows*cols)
+		Im2Col(g, x.Data, colX)
+		imY := make([]float32, g.InC*g.InH*g.InW)
+		Col2Im(g, y.Data, imY)
+		lhs := FromSlice(colX, rows*cols).Dot(y.Reshape(rows * cols))
+		rhs := x.Dot(FromSlice(imY, g.InC*g.InH*g.InW))
+		return almostEq(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImAccumulates(t *testing.T) {
+	// With a 2x2 kernel, stride 1, no padding on a 3x3 input, the center
+	// pixel is read by all four output positions; Col2Im of all-ones must
+	// therefore put 4 there.
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 2, KW: 2, StrideH: 1, StrideW: 1}
+	cols := g.OutH() * g.OutW()
+	col := make([]float32, g.KH*g.KW*cols)
+	for i := range col {
+		col[i] = 1
+	}
+	img := make([]float32, 9)
+	Col2Im(g, col, img)
+	if img[4] != 4 {
+		t.Fatalf("center accumulation = %v, want 4", img[4])
+	}
+	if img[0] != 1 {
+		t.Fatalf("corner accumulation = %v, want 1", img[0])
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	g := ConvGeom{InC: 16, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	r := rng.New(1)
+	src := RandNormal(r, 1, g.InC*g.InH*g.InW)
+	col := make([]float32, g.InC*g.KH*g.KW*g.OutH()*g.OutW())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(g, src.Data, col)
+	}
+}

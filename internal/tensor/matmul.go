@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := mustMatrix("MatMul A", a)
+	k2, n := mustMatrix("MatMul B", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	Gemm(false, false, 1, a, b, 0, c)
+	return c
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C where op transposes its
+// argument when the corresponding flag is set. A is [m,k] (or [k,m] when
+// transA), B is [k,n] (or [n,k] when transB) and C must be [m,n].
+//
+// The kernel parallelizes over blocks of rows of C; each row of C is written
+// by exactly one goroutine, so results are deterministic regardless of the
+// worker count. The inner loops are ordered i-k-j so the innermost traversal
+// is unit-stride over both B and C, which lets the compiler keep the hot path
+// in registers — this is the single most performance-critical routine in the
+// repository (conv layers lower onto it via im2col).
+func Gemm(transA, transB bool, alpha float32, a, b *Tensor, beta float32, c *Tensor) {
+	ra, ca := mustMatrix("Gemm A", a)
+	rb, cb := mustMatrix("Gemm B", b)
+	rc, cc := mustMatrix("Gemm C", c)
+	m, k := ra, ca
+	if transA {
+		m, k = ca, ra
+	}
+	kb, n := rb, cb
+	if transB {
+		kb, n = cb, rb
+	}
+	if k != kb || rc != m || cc != n {
+		panic(fmt.Sprintf("tensor: Gemm shape mismatch op(A)=[%d,%d] op(B)=[%d,%d] C=[%d,%d]", m, k, kb, n, rc, cc))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+
+	// Choose a row granularity that gives each worker a few thousand
+	// multiply-adds at minimum.
+	grain := 1
+	if work := k * n; work > 0 && work < 4096 {
+		grain = 4096/work + 1
+	}
+
+	switch {
+	case !transA && !transB:
+		par.ForGrain(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				crow := cd[i*n : (i+1)*n]
+				if beta == 0 {
+					for j := range crow {
+						crow[j] = 0
+					}
+				} else if beta != 1 {
+					for j := range crow {
+						crow[j] *= beta
+					}
+				}
+				arow := ad[i*k : (i+1)*k]
+				for l, av := range arow {
+					if av == 0 {
+						continue
+					}
+					s := alpha * av
+					brow := bd[l*n : (l+1)*n]
+					for j, bv := range brow {
+						crow[j] += s * bv
+					}
+				}
+			}
+		})
+	case transA && !transB:
+		par.ForGrain(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				crow := cd[i*n : (i+1)*n]
+				if beta == 0 {
+					for j := range crow {
+						crow[j] = 0
+					}
+				} else if beta != 1 {
+					for j := range crow {
+						crow[j] *= beta
+					}
+				}
+				for l := 0; l < k; l++ {
+					av := ad[l*ca+i]
+					if av == 0 {
+						continue
+					}
+					s := alpha * av
+					brow := bd[l*n : (l+1)*n]
+					for j, bv := range brow {
+						crow[j] += s * bv
+					}
+				}
+			}
+		})
+	case !transA && transB:
+		par.ForGrain(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				crow := cd[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := bd[j*k : (j+1)*k]
+					var s float32
+					for l, av := range arow {
+						s += av * brow[l]
+					}
+					if beta == 0 {
+						crow[j] = alpha * s
+					} else {
+						crow[j] = beta*crow[j] + alpha*s
+					}
+				}
+			}
+		})
+	default: // transA && transB
+		par.ForGrain(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				crow := cd[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					var s float32
+					for l := 0; l < k; l++ {
+						s += ad[l*ca+i] * bd[j*cb+l]
+					}
+					if beta == 0 {
+						crow[j] = alpha * s
+					} else {
+						crow[j] = beta*crow[j] + alpha*s
+					}
+				}
+			}
+		})
+	}
+}
+
+// MatVec returns y = A·x for A [m,n] and x [n].
+func MatVec(a, x *Tensor) *Tensor {
+	m, n := mustMatrix("MatVec A", a)
+	if x.Numel() != n {
+		panic(fmt.Sprintf("tensor: MatVec: A is [%d,%d], x has %d elements", m, n, x.Numel()))
+	}
+	y := New(m)
+	ad, xd, yd := a.Data, x.Data, y.Data
+	par.ForGrain(m, 32, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ad[i*n : (i+1)*n]
+			var s float32
+			for j, v := range row {
+				s += v * xd[j]
+			}
+			yd[i] = s
+		}
+	})
+	return y
+}
+
+// Transpose returns a new [n,m] tensor holding the transpose of a [m,n].
+func Transpose(a *Tensor) *Tensor {
+	m, n := mustMatrix("Transpose", a)
+	t := New(n, m)
+	ad, td := a.Data, t.Data
+	par.ForGrain(m, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				td[j*m+i] = ad[i*n+j]
+			}
+		}
+	})
+	return t
+}
+
+func mustMatrix(op string, t *Tensor) (rows, cols int) {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s: want matrix, got shape %v", op, t.Shape))
+	}
+	return t.Shape[0], t.Shape[1]
+}

@@ -1,0 +1,318 @@
+// Package repro reproduces "ImageNet Training in Minutes" (You, Zhang,
+// Hsieh, Demmel, Keutzer; ICPP 2018) — LARS-based large-batch training — as
+// a pure-Go library built on the standard library only.
+//
+// The package is a curated facade over the implementation packages:
+//
+//	internal/tensor     float32 tensors, GEMM, im2col
+//	internal/nn         layers with exact gradients (conv incl. grouped, BN,
+//	                    LRN, pooling, residual blocks, label smoothing)
+//	internal/models     AlexNet(+BN), ResNet-18/34/50 specs + trainable nets
+//	internal/data       SynthImageNet, sharding, augmentation, prefetch loader
+//	internal/opt        SGD(+Nesterov), LARS(+LARC), poly/warmup/cosine
+//	internal/dist       synchronous data-parallel engine (central/tree/ring,
+//	                    bucketing, fault injection)
+//	internal/comm       alpha-beta cost model, energy model
+//	internal/cluster    calibrated machine profiles + time simulator
+//	internal/core       the large-batch Trainer (the paper's recipe)
+//	internal/harness    one function per paper table/figure
+//	internal/async      asynchronous parameter-server baseline
+//	internal/modelpar   model parallelism (Figure 2b)
+//	internal/compress   1-bit SGD with error feedback, FP16 exchange
+//	internal/checkpoint binary snapshots with bit-identical resume
+//	internal/metrics    confusion matrix, EMA, CSV export
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	ds := repro.GenerateSynth(repro.DefaultSynthConfig())
+//	res, err := repro.Train(repro.TrainConfig{
+//	        Model:        repro.MicroAlexNetFactory(repro.MicroConfig{}),
+//	        Batch:        1024,
+//	        Epochs:       20,
+//	        Method:       repro.LARSWarmup,
+//	        WarmupEpochs: 5,
+//	}, ds)
+package repro
+
+import (
+	"repro/internal/async"
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/modelpar"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Core training API.
+type (
+	// TrainConfig configures one large-batch training run.
+	TrainConfig = core.Config
+	// TrainResult is the outcome of one run.
+	TrainResult = core.Result
+	// Method selects the training recipe.
+	Method = core.Method
+	// EpochStats is one epoch of recorded metrics.
+	EpochStats = core.EpochStats
+)
+
+// Training recipes.
+const (
+	// BaselineSGD is the small-batch momentum-SGD reference.
+	BaselineSGD = core.BaselineSGD
+	// LinearScalingWarmup is Goyal et al.'s large-batch recipe.
+	LinearScalingWarmup = core.LinearScalingWarmup
+	// LARSWarmup is the paper's recipe: LARS + warmup + poly decay.
+	LARSWarmup = core.LARSWarmup
+)
+
+// Train runs one configured training run on the dataset.
+func Train(cfg TrainConfig, ds *Synth) (*TrainResult, error) { return core.Train(cfg, ds) }
+
+// Data types.
+type (
+	// Synth is a generated synthetic dataset with train/test splits.
+	Synth = data.Synth
+	// SynthConfig parameterizes the generator.
+	SynthConfig = data.SynthConfig
+	// Dataset is an in-memory labelled image set.
+	Dataset = data.Dataset
+	// Augmenter applies weak augmentation (crop + flip).
+	Augmenter = data.Augmenter
+)
+
+// GenerateSynth builds the deterministic synthetic ImageNet substitute.
+func GenerateSynth(cfg SynthConfig) *Synth { return data.GenerateSynth(cfg) }
+
+// DefaultSynthConfig returns the laptop-scale default dataset.
+func DefaultSynthConfig() SynthConfig { return data.DefaultSynthConfig() }
+
+// Model types.
+type (
+	// Network is a trainable layer stack.
+	Network = nn.Network
+	// Param is one learnable tensor with its gradient.
+	Param = nn.Param
+	// Layer is a differentiable module.
+	Layer = nn.Layer
+	// Tensor is a dense float32 array.
+	Tensor = tensor.Tensor
+	// ModelSpec is an architecture with parameter/FLOP accounting.
+	ModelSpec = models.ModelSpec
+	// MicroConfig configures the reduced trainable models.
+	MicroConfig = models.MicroConfig
+)
+
+// Full-size architecture specs (Table 6).
+
+// AlexNetSpec returns the original grouped AlexNet (61M params).
+func AlexNetSpec() *ModelSpec { return models.AlexNetSpec() }
+
+// AlexNetBNSpec returns the batch-norm AlexNet refit used at batch 32K.
+func AlexNetBNSpec() *ModelSpec { return models.AlexNetBNSpec() }
+
+// ResNet50Spec returns ResNet-50 (25.6M params, 7.7 GFLOPs/image).
+func ResNet50Spec() *ModelSpec { return models.ResNet50Spec() }
+
+// MicroAlexNetFactory returns a model factory for core.Config.Model that
+// builds micro-AlexNet replicas seeded per worker.
+func MicroAlexNetFactory(cfg MicroConfig) func(seed uint64) *Network {
+	return func(seed uint64) *Network {
+		c := cfg
+		c.Seed = seed
+		return models.NewMicroAlexNet(c)
+	}
+}
+
+// MicroResNetFactory returns a factory building reduced bottleneck ResNets.
+func MicroResNetFactory(cfg MicroConfig) func(seed uint64) *Network {
+	return func(seed uint64) *Network {
+		c := cfg
+		c.Seed = seed
+		return models.NewMicroResNet(c)
+	}
+}
+
+// Optimizers and schedules.
+type (
+	// LARSConfig configures Layer-wise Adaptive Rate Scaling.
+	LARSConfig = opt.LARSConfig
+	// SGDConfig configures momentum SGD.
+	SGDConfig = opt.SGDConfig
+	// Schedule maps iteration to learning rate.
+	Schedule = opt.Schedule
+)
+
+// NewLARS builds a LARS optimizer over params (the paper's algorithm).
+func NewLARS(params []*Param, cfg LARSConfig) *opt.LARS { return opt.NewLARS(params, cfg) }
+
+// NewSGD builds a momentum-SGD optimizer over params.
+func NewSGD(params []*Param, cfg SGDConfig) *opt.SGD { return opt.NewSGD(params, cfg) }
+
+// LinearScalingRule returns baseLR scaled by batch/baseBatch.
+func LinearScalingRule(baseLR float64, baseBatch, batch int) float64 {
+	return opt.LinearScalingRule(baseLR, baseBatch, batch)
+}
+
+// Distributed engine.
+type (
+	// Engine drives synchronous data-parallel SGD over worker replicas.
+	Engine = dist.Engine
+	// EngineConfig configures the engine.
+	EngineConfig = dist.Config
+	// Algorithm selects the allreduce pattern.
+	Algorithm = dist.Algorithm
+	// CommStats counts messages/bytes/rounds moved.
+	CommStats = dist.CommStats
+)
+
+// Allreduce algorithms.
+const (
+	// Central is the parameter-server star pattern.
+	Central = dist.Central
+	// Tree is the binomial log2(P) pattern of Table 2.
+	Tree = dist.Tree
+	// Ring is bandwidth-optimal chunked ring allreduce.
+	Ring = dist.Ring
+)
+
+// NewEngine builds a synchronous data-parallel engine over replicas.
+func NewEngine(cfg EngineConfig, replicas []*Network) *Engine { return dist.NewEngine(cfg, replicas) }
+
+// Cluster simulation.
+type (
+	// Machine is a calibrated device profile.
+	Machine = cluster.Machine
+	// ClusterConfig is a device set joined by one fabric.
+	ClusterConfig = cluster.Cluster
+	// Estimate is a simulated training time.
+	Estimate = cluster.Estimate
+	// NetworkProfile is an alpha-beta fabric model.
+	NetworkProfile = comm.Network
+)
+
+// Calibrated machines from the paper's hardware.
+var (
+	TeslaK20  = cluster.TeslaK20
+	TeslaM40  = cluster.TeslaM40
+	TeslaP100 = cluster.TeslaP100
+	KNL7250   = cluster.KNL7250
+	Xeon8160  = cluster.Xeon8160
+)
+
+// Simulate prices one training run on a cluster (Tables 2, 8, 9).
+func Simulate(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int) Estimate {
+	return cluster.Simulate(c, spec, batch, epochs, datasetSize)
+}
+
+// DGX1 returns one 8xP100 DGX-1 station.
+func DGX1() ClusterConfig { return cluster.DGX1() }
+
+// KNLCluster returns n KNL nodes on Omni-Path.
+func KNLCluster(n int) ClusterConfig { return cluster.KNLCluster(n) }
+
+// CPUCluster returns n Skylake nodes on Omni-Path.
+func CPUCluster(n int) ClusterConfig { return cluster.CPUCluster(n) }
+
+// Full-size trainable networks (parameter counts match the specs exactly).
+
+// NewAlexNet builds the original grouped/LRN AlexNet (61M params).
+func NewAlexNet(seed uint64, classes int) *Network { return models.NewAlexNet(rng.New(seed), classes) }
+
+// NewAlexNetBN builds the batch-norm AlexNet refit (62.4M params).
+func NewAlexNetBN(seed uint64, classes int) *Network {
+	return models.NewAlexNetBN(rng.New(seed), classes)
+}
+
+// NewResNet18 builds ResNet-18 (11.7M params).
+func NewResNet18(seed uint64, classes int) *Network {
+	return models.NewResNet18(rng.New(seed), classes)
+}
+
+// NewResNet34 builds ResNet-34 (21.8M params).
+func NewResNet34(seed uint64, classes int) *Network {
+	return models.NewResNet34(rng.New(seed), classes)
+}
+
+// NewResNet50 builds ResNet-50 (25.6M params).
+func NewResNet50(seed uint64, classes int) *Network {
+	return models.NewResNet50(rng.New(seed), classes)
+}
+
+// ResNet18Spec returns the ResNet-18 architecture spec.
+func ResNet18Spec() *ModelSpec { return models.ResNet18Spec() }
+
+// ResNet34Spec returns the ResNet-34 architecture spec.
+func ResNet34Spec() *ModelSpec { return models.ResNet34Spec() }
+
+// Checkpointing.
+type (
+	// Checkpoint is a serializable model + optimizer snapshot.
+	Checkpoint = checkpoint.Checkpoint
+)
+
+// CheckpointFromNetwork captures all parameter values of net at a step.
+func CheckpointFromNetwork(net *Network, step int64) *Checkpoint {
+	return checkpoint.FromNetwork(net, step)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return checkpoint.Load(path) }
+
+// Asynchronous baseline (the parameter-server approach the paper rejects).
+type (
+	// AsyncConfig configures a Downpour-style asynchronous run.
+	AsyncConfig = async.Config
+	// AsyncResult summarizes it (accuracy, staleness statistics).
+	AsyncResult = async.Result
+)
+
+// AsyncTrain runs asynchronous parameter-server SGD (stale gradients).
+func AsyncTrain(cfg AsyncConfig, ds *Synth) (*AsyncResult, error) { return async.Train(cfg, ds) }
+
+// Gradient compression.
+type (
+	// Quantizer carries 1-bit SGD error-feedback state.
+	Quantizer = compress.Quantizer
+)
+
+// NewQuantizer builds a 1-bit gradient quantizer for n coordinates.
+func NewQuantizer(n int) *Quantizer { return compress.NewQuantizer(n) }
+
+// Model parallelism (Figure 2b).
+type (
+	// ShardedLinear is a fully-connected layer partitioned across shards.
+	ShardedLinear = modelpar.ShardedLinear
+)
+
+// Metrics.
+type (
+	// ConfusionMatrix tallies per-class predictions.
+	ConfusionMatrix = metrics.ConfusionMatrix
+	// EMA is an exponentially-weighted moving average.
+	EMA = metrics.EMA
+)
+
+// NewConfusionMatrix returns an empty k-class confusion matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix { return metrics.NewConfusionMatrix(k) }
+
+// Input pipeline.
+type (
+	// Loader prefetches augmented batches on a background goroutine.
+	Loader = data.Loader
+	// LoaderConfig configures a Loader.
+	LoaderConfig = data.LoaderConfig
+	// DataBatch is one assembled batch.
+	DataBatch = data.Batch
+)
+
+// NewLoader starts a prefetching batch loader over ds.
+func NewLoader(ds *Dataset, cfg LoaderConfig) *Loader { return data.NewLoader(ds, cfg) }
