@@ -163,6 +163,7 @@ func BenchmarkAblationWorkers(b *testing.B) {
 				replicas[i] = ablationFactory()(uint64(i))
 			}
 			e := dist.NewEngine(dist.Config{Algo: dist.Ring}, replicas)
+			defer e.Close()
 			start := time.Now()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -207,6 +208,7 @@ func BenchmarkTrainStep(b *testing.B) {
 	x, labels := ds.Train.Gather(seqInts(64))
 	replicas := []*nn.Network{ablationFactory()(1), ablationFactory()(2)}
 	e := dist.NewEngine(dist.Config{Algo: dist.Ring}, replicas)
+	defer e.Close()
 	o := opt.NewLARS(e.Master().Params(), opt.DefaultLARSConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/models"
 	"repro/internal/rng"
@@ -32,6 +33,46 @@ func reportTable(b *testing.B, t *harness.Table) {
 	b.Helper()
 	if len(t.Rows) == 0 {
 		b.Fatalf("%s produced no rows", t.ID)
+	}
+}
+
+// BenchmarkAllreduce is the topology perf baseline: one full allreduce
+// (Reduce + Broadcast) at P=8 across tensor sizes from a small dense layer
+// (64K floats) up to ResNet-50's full gradient (25.6M floats). The custom
+// metrics report the schedule each topology would put on the wire.
+func BenchmarkAllreduce(b *testing.B) {
+	const workers = 8
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"64K", 1 << 16},
+		{"1M", 1 << 20},
+		{"resnet50", int(models.ResNet50Spec().ParamCount())},
+	}
+	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("%s/%s", algo, size.name), func(b *testing.B) {
+				bufs := make([][]float32, workers)
+				r := rng.New(1)
+				for i := range bufs {
+					bufs[i] = make([]float32, size.n)
+					for j := 0; j < size.n; j += 127 {
+						bufs[i][j] = r.NormFloat32()
+					}
+				}
+				b.SetBytes(int64(4 * size.n))
+				b.ResetTimer()
+				var stats dist.CommStats
+				for i := 0; i < b.N; i++ {
+					stats = dist.CommStats{}
+					dist.Reduce(algo, bufs, &stats)
+					dist.Broadcast(algo, bufs, &stats)
+				}
+				b.ReportMetric(float64(stats.Messages), "msgs/op")
+				b.ReportMetric(float64(stats.Steps), "rounds/op")
+			})
+		}
 	}
 }
 

@@ -99,14 +99,15 @@ func main() {
 	}
 
 	if *sweep {
-		fmt.Printf("%-8s %-12s %-12s %-12s %-12s\n", "nodes", "comp/iter", "comm/iter", "total", "img/s")
+		fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-14s %-10s\n", "nodes", "comp/iter", "comm/iter", "total", "img/s", "msgs/iter", "rounds")
 		for n := *nodes; n <= 16**nodes && n <= *batch; n *= 2 {
 			e := run(n)
 			if e.OOM {
 				fmt.Printf("%-8d OOM\n", n)
 				continue
 			}
-			fmt.Printf("%-8d %-12.4fs %-12.4fs %-12s %-12.0f\n", n, e.CompSec, e.CommSec, e.Duration().Round(1e9), e.ImagesSec)
+			fmt.Printf("%-8d %-12.4fs %-12.4fs %-12s %-12.0f %-14d %-10d\n",
+				n, e.CompSec, e.CommSec, e.Duration().Round(1e9), e.ImagesSec, e.Comm.Messages, e.Comm.Steps)
 		}
 		return
 	}
@@ -120,6 +121,8 @@ func main() {
 	fmt.Printf("batch:       %d global, %d/device (compute micro-batch %d)\n", *batch, e.LocalBatch, e.MicroBatch)
 	fmt.Printf("iterations:  %d (%d epochs of %d images)\n", e.Iterations, *epochs, *dataset)
 	fmt.Printf("iteration:   %.4fs compute + %.4fs communication\n", e.CompSec, e.CommSec)
+	fmt.Printf("allreduce:   %d messages, %.1f MB aggregate, %d latency rounds per iteration (%s)\n",
+		e.Comm.Messages, float64(e.Comm.Bytes)/1e6, e.Comm.Steps, a)
 	fmt.Printf("throughput:  %.0f images/sec\n", e.ImagesSec)
 	fmt.Printf("total:       %s\n", e.Duration().Round(1e9))
 }

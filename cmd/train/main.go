@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
 )
@@ -35,6 +36,12 @@ func main() {
 		trust     = flag.Float64("trust", 0.01, "LARS trust coefficient")
 		wd        = flag.Float64("wd", 0.0005, "weight decay")
 		workers   = flag.Int("workers", 2, "data-parallel workers")
+		algo      = flag.String("algo", "ring", "allreduce topology: central | tree | ring")
+		shards    = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
+		bucket    = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
+		codec     = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
+		dropRate  = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
+		stallRate = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
 		width     = flag.Int("width", 8, "model base width")
 		augment   = flag.Bool("augment", false, "enable weak data augmentation")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
@@ -83,9 +90,46 @@ func main() {
 		log.Fatalf("unknown model %q", *modelName)
 	}
 
+	if *shards != 0 && *shards < *workers {
+		log.Fatalf("-shards %d cannot feed -workers %d: need shards >= workers (or 0 for one per worker)", *shards, *workers)
+	}
+
+	var a dist.Algorithm
+	switch *algo {
+	case "central":
+		a = dist.Central
+	case "tree":
+		a = dist.Tree
+	case "ring":
+		a = dist.Ring
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	var payloadCodec dist.Codec
+	switch *codec {
+	case "":
+	case "fp16":
+		payloadCodec = dist.FP16Codec{}
+	case "1bit":
+		payloadCodec = dist.NewOneBitCodec()
+	default:
+		log.Fatalf("unknown codec %q", *codec)
+	}
+
+	var faults *dist.FaultPlan
+	if *dropRate > 0 || *stallRate > 0 {
+		faults = &dist.FaultPlan{Seed: *seed, DropRate: *dropRate, StallRate: *stallRate}
+	}
+
 	cfg := core.Config{
 		Model:        factory,
 		Workers:      *workers,
+		Algo:         a,
+		Shards:       *shards,
+		Bucket:       *bucket,
+		Codec:        payloadCodec,
+		Faults:       faults,
 		Batch:        *batch,
 		Epochs:       *epochs,
 		Method:       m,
@@ -118,8 +162,9 @@ func main() {
 	if res.Diverged {
 		status = "DIVERGED"
 	}
-	fmt.Printf("final: acc=%.4f best=%.4f loss=%.4f iters=%d wall=%s comm_bytes=%d status=%s\n",
-		res.TestAcc, res.BestAcc, res.FinalLoss, res.Iterations, res.Wall.Round(1e7), res.Comm.Bytes, status)
+	fmt.Printf("final: acc=%.4f best=%.4f loss=%.4f iters=%d wall=%s comm_msgs=%d comm_bytes=%d comm_rounds=%d retries=%d stalls=%d status=%s\n",
+		res.TestAcc, res.BestAcc, res.FinalLoss, res.Iterations, res.Wall.Round(1e7),
+		res.Comm.Messages, res.Comm.Bytes, res.Comm.Steps, res.Comm.Retries, res.Comm.Stalls, status)
 	if res.Diverged {
 		os.Exit(2)
 	}

@@ -10,10 +10,21 @@ import (
 
 	"repro"
 	"repro/internal/comm"
+	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/rng"
 )
+
+// seq returns [0, 1, ..., n).
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
 
 func main() {
 	resnet := repro.ResNet50Spec()
@@ -51,9 +62,44 @@ func main() {
 		var stats dist.CommStats
 		dist.Reduce(algo, bufs, &stats)
 		dist.Broadcast(algo, bufs, &stats)
-		model := comm.MessagesPerAllreduce(algo, workers)
-		fmt.Printf("  %-8s observed %4d messages, %6.2f MB moved; model says %4d messages\n",
-			algo, stats.Messages, float64(stats.Bytes)/1e6, model)
+		model := comm.ExpectedStats(algo, workers, int64(4*weights))
+		fmt.Printf("  %-8s observed %4d messages %6.2f MB %3d rounds; model says %4d messages %6.2f MB %3d rounds\n",
+			algo, stats.Messages, float64(stats.Bytes)/1e6, stats.Steps,
+			model.Messages, float64(model.Bytes)/1e6, model.Steps)
+	}
+
+	fmt.Println("\n== Engine: one real training step per algorithm (P=4, micro-AlexNet) ==")
+	// Drive the full synchronous engine — shard forward/backward, bucketed
+	// gradient allreduce, weight broadcast — and report the per-step
+	// counters next to the analytic schedule and its alpha-beta price.
+	ds := repro.GenerateSynth(data.SynthConfig{
+		Classes: 8, TrainSize: 256, TestSize: 64, C: 3, H: 16, W: 16,
+		Noise: 0.3, MaxShift: 2, Flip: true, Seed: 11,
+	})
+	x, labels := ds.Train.Gather(seq(64))
+	factory := repro.MicroAlexNetFactory(models.MicroConfig{Classes: 8, InH: 16, Width: 8})
+	fmt.Printf("  %-8s %-28s %-28s %s\n", "algo", "grad reduce (msgs/MB/rounds)", "weight bcast (msgs/MB/rounds)", "FDR time/step")
+	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+		replicas := make([]*nn.Network, 4)
+		for i := range replicas {
+			replicas[i] = factory(uint64(i) + 1)
+		}
+		e := dist.NewEngine(dist.Config{Algo: algo}, replicas)
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			panic(err)
+		}
+		reduce := e.StepStats()
+		e.BroadcastWeights()
+		total := e.StepStats()
+		bcast := total
+		bcast.Messages -= reduce.Messages
+		bcast.Bytes -= reduce.Bytes
+		bcast.Steps -= reduce.Steps
+		fmt.Printf("  %-8s %4d / %6.2f / %2d          %4d / %6.2f / %2d          %.2f ms\n",
+			algo, reduce.Messages, float64(reduce.Bytes)/1e6, reduce.Steps,
+			bcast.Messages, float64(bcast.Bytes)/1e6, bcast.Steps,
+			1e3*comm.MellanoxFDR.TimeFromStats(total))
+		e.Close()
 	}
 
 	fmt.Println("\n== Table 12: energy — data movement dwarfs arithmetic ==")

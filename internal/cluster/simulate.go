@@ -66,6 +66,10 @@ type Estimate struct {
 	CommSec   float64 // per-iteration exposed communication
 	TotalSec  float64
 	ImagesSec float64 // sustained throughput
+	// Comm is the closed-form schedule of one gradient allreduce under
+	// the cluster's algorithm — the same counters internal/dist records
+	// when executing the exchange for real.
+	Comm dist.CommStats
 }
 
 // Duration returns the total time as a time.Duration.
@@ -121,6 +125,7 @@ func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int)
 	if e.MicroBatch > fit {
 		e.MicroBatch = fit // gradient accumulation in micro-batches
 	}
+	e.Comm = comm.ExpectedStats(c.Algo, c.Count, spec.WeightBytes())
 	prof := c.Machine.ProfileFor(spec.Name)
 	eff := prof.Efficiency(float64(e.MicroBatch))
 	flopsPerIter := float64(e.LocalBatch) * float64(spec.TrainFLOPsPerImage())

@@ -78,23 +78,53 @@ func ceilLog2(p int) int {
 
 // MessagesPerAllreduce returns the total point-to-point message count of
 // one allreduce (sum + broadcast) under the algorithm, matching what
-// internal/dist's counters record.
+// internal/dist's counters record. It is the Messages column of
+// ExpectedStats (Central/Tree: 2(P−1); Ring: reduce-scatter and allgather
+// at P messages per step for 2(P−1) steps, plus the paired binomial
+// weight broadcast).
 func MessagesPerAllreduce(algo dist.Algorithm, p int) int64 {
+	return ExpectedStats(algo, p, 0).Messages
+}
+
+// ExpectedStats returns the closed-form dist.CommStats of one full
+// allreduce (gradient sum + weight broadcast) of a payloadBytes payload
+// across p workers — the analytic twin of the counters internal/dist
+// records while executing the same schedule, cross-checked in tests:
+//
+//	Central: msgs 2(P−1), bytes 2(P−1)·B, steps 2(P−1)
+//	Tree:    msgs 2(P−1), bytes 2(P−1)·B, steps 2⌈log₂P⌉
+//	Ring:    msgs 2P(P−1)+(P−1), bytes 3(P−1)·B, steps 2(P−1)+⌈log₂P⌉
+//
+// (Ring's reduce-scatter + allgather moves 2(P−1)·B aggregate bytes in
+// 2(P−1) rounds of P concurrent chunk messages; its paired binomial weight
+// broadcast adds (P−1) messages of the full payload.)
+func ExpectedStats(algo dist.Algorithm, p int, payloadBytes int64) dist.CommStats {
 	if p <= 1 {
-		return 0
+		return dist.CommStats{}
 	}
+	pm := int64(p - 1)
 	switch algo {
 	case dist.Central:
-		return 2 * int64(p-1)
+		return dist.CommStats{Messages: 2 * pm, Bytes: 2 * pm * payloadBytes, Steps: 2 * pm}
 	case dist.Tree:
-		return 2 * int64(p-1)
+		return dist.CommStats{Messages: 2 * pm, Bytes: 2 * pm * payloadBytes, Steps: 2 * int64(ceilLog2(p))}
 	case dist.Ring:
-		// Reduce-scatter and allgather: P messages per step, 2(P−1) steps,
-		// plus the binomial weight broadcast dist pairs with it.
-		return 2*int64(p)*int64(p-1) + int64(p-1)
+		return dist.CommStats{
+			Messages: 2*int64(p)*pm + pm,
+			Bytes:    3 * pm * payloadBytes,
+			Steps:    2*pm + int64(ceilLog2(p)),
+		}
 	default:
 		panic(fmt.Sprintf("comm: unknown algorithm %v", algo))
 	}
+}
+
+// TimeFromStats prices a recorded (or expected) schedule on the fabric
+// using the aggregate alpha-beta view: every latency round costs Alpha and
+// every payload byte costs Beta. It complements AllreduceTime, which models
+// the per-worker critical path rather than the aggregate traffic.
+func (n Network) TimeFromStats(s dist.CommStats) float64 {
+	return float64(s.Steps)*n.Alpha + float64(s.Bytes)*n.Beta
 }
 
 // Iterations returns the paper's analytic E·n/B iteration count (Table 2,

@@ -164,6 +164,42 @@ func TestMessagesMatchDistCounters(t *testing.T) {
 	}
 }
 
+// TestExpectedStatsMatchDistCounters cross-checks the full closed-form
+// schedule — messages, bytes and latency rounds — against the counters the
+// executing layer records for one allreduce.
+func TestExpectedStatsMatchDistCounters(t *testing.T) {
+	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+		for _, p := range []int{2, 3, 4, 8, 16} {
+			const n = 80
+			bufs := make([][]float32, p)
+			for i := range bufs {
+				bufs[i] = make([]float32, n)
+			}
+			var stats dist.CommStats
+			dist.Reduce(algo, bufs, &stats)
+			dist.Broadcast(algo, bufs, &stats)
+			if want := ExpectedStats(algo, p, 4*n); stats != want {
+				t.Errorf("%v P=%d: dist recorded %+v, model says %+v", algo, p, stats, want)
+			}
+		}
+	}
+}
+
+// TestTimeFromStatsPricesSchedule pins the aggregate alpha-beta pricing.
+func TestTimeFromStatsPricesSchedule(t *testing.T) {
+	s := dist.CommStats{Steps: 10, Bytes: 1 << 20}
+	want := 10*IntelQDR.Alpha + float64(1<<20)*IntelQDR.Beta
+	if got := IntelQDR.TimeFromStats(s); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("TimeFromStats = %v, want %v", got, want)
+	}
+	// More latency rounds on a latency-bound fabric must cost more.
+	central := ExpectedStats(dist.Central, 64, 1000)
+	tree := ExpectedStats(dist.Tree, 64, 1000)
+	if Intel10GbE.TimeFromStats(central) <= Intel10GbE.TimeFromStats(tree) {
+		t.Fatal("central's 2(P-1) rounds should out-price tree's 2log2(P)")
+	}
+}
+
 func TestTable12Energy(t *testing.T) {
 	rows := Table12()
 	if len(rows) != 7 {

@@ -66,7 +66,23 @@ type Config struct {
 	Model func(seed uint64) *nn.Network
 
 	Workers int            // data-parallel worker count (default 1)
-	Algo    dist.Algorithm // gradient reduction pattern (default Ring)
+	Algo    dist.Algorithm // gradient reduction pattern (default Central)
+
+	// Shards is the number of logical gradient shards per global batch
+	// (default Workers). The shard split — not the worker count — fixes
+	// the numerical result: runs with equal Shards are bit-identical for
+	// any Workers, which is how the multi-worker path reproduces the
+	// single-worker trajectory exactly (pin Shards across both runs).
+	Shards int
+	// Bucket chunks gradient reduction into buckets of at most this many
+	// float32 coordinates (0 = one bucket; see dist.Config.BucketElems).
+	Bucket int
+	// Codec optionally compresses gradient exchange payloads (lossy;
+	// dist.FP16Codec, dist.NewOneBitCodec).
+	Codec dist.Codec
+	// Faults optionally injects deterministic drops/stalls into the
+	// reduction schedule; recovery is exact (see dist.FaultPlan).
+	Faults *dist.FaultPlan
 
 	Batch  int // global batch size B
 	Epochs int // fixed epoch budget E (the paper's invariant)
@@ -189,7 +205,11 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	for i := range replicas {
 		replicas[i] = cfg.Model(cfg.Seed + uint64(i)*7919)
 	}
-	engine := dist.NewEngine(dist.Config{Algo: cfg.Algo}, replicas)
+	engine := dist.NewEngine(dist.Config{
+		Algo: cfg.Algo, Shards: cfg.Shards, BucketElems: cfg.Bucket,
+		Codec: cfg.Codec, Faults: cfg.Faults,
+	}, replicas)
+	defer engine.Close()
 
 	params := engine.Master().Params()
 	var optimizer opt.Optimizer

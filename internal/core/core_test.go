@@ -82,6 +82,70 @@ func TestTrainMultiWorkerCloseToSingle(t *testing.T) {
 	}
 }
 
+// TestMultiWorkerBitIdenticalToSingle is the engine's headline guarantee at
+// the trainer level: with the logical shard split pinned, a 4-worker run
+// reproduces the single-worker loss trajectory bit-identically — physical
+// parallelism is invisible to the numerics.
+func TestMultiWorkerBitIdenticalToSingle(t *testing.T) {
+	ds := tinyDataset()
+	run := func(workers int) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: workers, Shards: 4, Algo: dist.Tree,
+			Batch: 64, Epochs: 3, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, four := run(1), run(4)
+	if len(one.History) != len(four.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(one.History), len(four.History))
+	}
+	for e := range one.History {
+		a, b := one.History[e], four.History[e]
+		if a.TrainLoss != b.TrainLoss {
+			t.Fatalf("epoch %d: P=4 loss %v differs bitwise from P=1 loss %v", e, b.TrainLoss, a.TrainLoss)
+		}
+		if a.TestAcc != b.TestAcc && !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) {
+			t.Fatalf("epoch %d: P=4 acc %v differs from P=1 acc %v", e, b.TestAcc, a.TestAcc)
+		}
+	}
+	if one.FinalLoss != four.FinalLoss || one.TestAcc != four.TestAcc {
+		t.Fatalf("final results differ: (%v,%v) vs (%v,%v)", one.FinalLoss, one.TestAcc, four.FinalLoss, four.TestAcc)
+	}
+}
+
+// TestFaultyTrainingMatchesClean: dropped and straggling workers must not
+// change a single bit of the trajectory — recovery is exact — while the
+// recorded stats show the recovery traffic.
+func TestFaultyTrainingMatchesClean(t *testing.T) {
+	ds := tinyDataset()
+	run := func(faults *dist.FaultPlan) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: 4, Batch: 64, Epochs: 2,
+			Method: BaselineSGD, BaseLR: 0.1, Seed: 3, Faults: faults,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	faulty := run(&dist.FaultPlan{Seed: 5, DropRate: 0.3, StallRate: 0.3})
+	if clean.FinalLoss != faulty.FinalLoss || clean.TestAcc != faulty.TestAcc {
+		t.Fatalf("faults changed the trajectory: (%v,%v) vs (%v,%v)",
+			faulty.FinalLoss, faulty.TestAcc, clean.FinalLoss, clean.TestAcc)
+	}
+	if faulty.Comm.Retries == 0 {
+		t.Fatal("fault plan recorded no retries")
+	}
+	if faulty.Comm.Messages <= clean.Comm.Messages {
+		t.Fatal("recovery should add resent messages")
+	}
+}
+
 func TestDivergenceDetected(t *testing.T) {
 	ds := tinyDataset()
 	// An absurd learning rate with no warmup must blow up, be detected,

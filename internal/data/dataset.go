@@ -82,6 +82,29 @@ func (d *Dataset) Shuffled(seed uint64, epoch int) []int {
 	return r.Perm(d.Len())
 }
 
+// Spans splits n batch rows into k contiguous near-equal spans [lo, hi),
+// the first n mod k spans one row longer. It is the logical shard split of
+// data-parallel training (internal/dist): the split depends only on (n, k),
+// which is what makes the engine's reductions independent of the physical
+// worker count. Spans may be empty when n < k.
+func Spans(n, k int) [][2]int {
+	if k <= 0 {
+		panic(fmt.Sprintf("data: Spans(%d, %d): need k > 0", n, k))
+	}
+	base, rem := n/k, n%k
+	spans := make([][2]int, k)
+	lo := 0
+	for i := range spans {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		spans[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	return spans
+}
+
 // Batches splits a permutation into consecutive batches of size b; the final
 // short batch is dropped (standard for fixed-size training pipelines; with
 // the paper's fixed-epoch accounting the epoch size is then n - n mod b).

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/compress"
+)
+
+// Codec compresses reduction payloads on the (simulated) wire. The engine
+// passes every logical shard's bucket payload through Transform before
+// reduction, so the lossy wire format feeds back into training exactly as
+// it would on real hardware, while CommStats.Bytes records the wire size
+// instead of the raw 4n float bytes.
+//
+// Transform is keyed by slot — a stable (shard, bucket) identifier — so
+// stateful codecs (1-bit SGD's error feedback) carry per-payload residual
+// state across steps. Slots are keyed by the logical shard, not the
+// physical worker, which keeps codec numerics independent of the worker
+// count like everything else in the engine. Different slots may be
+// transformed concurrently; a slot is never used by two goroutines at once.
+type Codec interface {
+	// Name identifies the codec in logs and stats tables.
+	Name() string
+	// Transform rounds data through the codec's wire representation in
+	// place (lossy) and returns the payload's wire byte count.
+	Transform(slot int, data []float32) int64
+}
+
+// FP16Codec exchanges gradients in IEEE half precision: 2 bytes per
+// coordinate on the wire, values rounded through float16 on the way.
+type FP16Codec struct{}
+
+// fp16Scratch pools the encode buffers: Transform runs per shard per
+// bucket on every training step, and a fresh allocation there would be
+// pure GC churn in the engine's hot reduction path.
+var fp16Scratch = sync.Pool{New: func() any { return []uint16(nil) }}
+
+// Name implements Codec.
+func (FP16Codec) Name() string { return "fp16" }
+
+// Transform implements Codec.
+func (FP16Codec) Transform(_ int, data []float32) int64 {
+	buf := fp16Scratch.Get().([]uint16)
+	if cap(buf) < len(data) {
+		buf = make([]uint16, len(data))
+	}
+	buf = buf[:len(data)]
+	compress.EncodeFP16(data, buf)
+	compress.DecodeFP16(buf, data)
+	fp16Scratch.Put(buf)
+	return 2 * int64(len(data))
+}
+
+// OneBitCodec is Seide et al.'s 1-bit SGD as a dist payload codec: one sign
+// bit per coordinate plus two scales on the wire (~32x smaller), with the
+// quantization error carried per slot as the next step's residual — the
+// error feedback that makes the scheme converge.
+type OneBitCodec struct {
+	mu    sync.Mutex
+	slots map[int]*compress.Quantizer
+}
+
+// NewOneBitCodec returns a 1-bit codec with empty error-feedback state.
+func NewOneBitCodec() *OneBitCodec {
+	return &OneBitCodec{slots: make(map[int]*compress.Quantizer)}
+}
+
+// Name implements Codec.
+func (c *OneBitCodec) Name() string { return "1bit" }
+
+// Transform implements Codec.
+func (c *OneBitCodec) Transform(slot int, data []float32) int64 {
+	c.mu.Lock()
+	z := c.slots[slot]
+	if z == nil {
+		z = compress.NewQuantizer(len(data))
+		c.slots[slot] = z
+	}
+	c.mu.Unlock()
+	q := z.Encode(data)
+	q.Decode(data)
+	return q.Bytes()
+}

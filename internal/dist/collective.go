@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Reduce performs the gradient-sum phase of one allreduce over the workers'
+// equal-length buffers: the element-wise sum of all buffers lands in
+// bufs[0] (the root). Under Ring — whose reduce-scatter + allgather leaves
+// the result on every worker — all buffers receive the sum. The executed
+// schedule is accounted into stats when non-nil.
+//
+// Per the package's reproducibility contract the sum is computed in
+// canonical worker order with float64 accumulation, so all three algorithms
+// return bitwise-identical values.
+func Reduce(algo Algorithm, bufs [][]float32, stats *CommStats) {
+	p := len(bufs)
+	if p == 0 {
+		return
+	}
+	n := checkUniform("Reduce", bufs)
+	if p > 1 {
+		root := bufs[0]
+		par.ForGrain(n, 2048, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				acc := float64(root[i])
+				for w := 1; w < p; w++ {
+					acc += float64(bufs[w][i])
+				}
+				root[i] = float32(acc)
+			}
+		})
+		if algo == Ring {
+			fanOut(bufs)
+		}
+	}
+	if stats != nil {
+		stats.Add(reduceSchedule(algo, p, 4*int64(n)))
+	}
+}
+
+// Broadcast distributes bufs[0] (the root's buffer) to every other worker
+// under the given topology, accounting the schedule into stats when
+// non-nil. Paired with Reduce it completes one allreduce: afterwards every
+// buffer holds the reduced value under any algorithm.
+func Broadcast(algo Algorithm, bufs [][]float32, stats *CommStats) {
+	p := len(bufs)
+	if p == 0 {
+		return
+	}
+	n := checkUniform("Broadcast", bufs)
+	if p > 1 {
+		fanOut(bufs)
+	}
+	if stats != nil {
+		stats.Add(broadcastSchedule(algo, p, 4*int64(n)))
+	}
+}
+
+// fanOut copies bufs[0] into every other buffer, parallelized over workers.
+func fanOut(bufs [][]float32) {
+	root := bufs[0]
+	tasks := make([]func(), 0, len(bufs)-1)
+	for w := 1; w < len(bufs); w++ {
+		dst := bufs[w]
+		tasks = append(tasks, func() { copy(dst, root) })
+	}
+	par.Do(tasks...)
+}
+
+// checkUniform panics unless all buffers share one length, which it returns.
+func checkUniform(op string, bufs [][]float32) int {
+	n := len(bufs[0])
+	for w, b := range bufs {
+		if len(b) != n {
+			panic(fmt.Sprintf("dist: %s: buffer %d has %d elements, worker 0 has %d", op, w, len(b), n))
+		}
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+// Package dist is the synchronous data-parallel engine: the layer the paper
+// (and Akiba et al. 2017 before it) identifies as the scaling bottleneck of
+// large-batch SGD. It provides
+//
+//   - package-level collectives (Reduce, Broadcast) over raw float32
+//     buffers under three allreduce topologies — Central (parameter-server
+//     star), Tree (binomial ⌈log₂P⌉ rounds, Table 2's model) and Ring
+//     (bandwidth-optimal chunked reduce-scatter + allgather) — with exact
+//     per-topology accounting of messages, payload bytes and latency rounds
+//     in CommStats, cross-checked against internal/comm's closed forms;
+//
+//   - an Engine that drives W persistent worker goroutines in lockstep over
+//     per-worker batch shards: forward/backward on each worker's replica,
+//     gradient averaging through the selected topology, weight broadcast,
+//     data-parallel evaluation, gradient bucketing (chunked reduction, the
+//     overlap-friendly granularity real frameworks use), optional payload
+//     compression (internal/compress 1-bit SGD or FP16 via the Codec hook)
+//     and deterministic fault injection (dropped payloads are re-requested,
+//     straggling workers are awaited) for scenario diversity.
+//
+// # Reproducibility contract
+//
+// The engine executes the reduction arithmetic once per coordinate, in
+// canonical shard order with a float64 accumulator, and separately accounts
+// the message schedule of the selected topology. Consequences, all tested:
+//
+//   - the three algorithms produce bitwise-identical reductions (real
+//     collectives do not have this property; a reproduction harness wants
+//     it, so topology choice is a pure cost/accounting decision);
+//
+//   - the numerical result depends only on Config.Shards — the logical
+//     batch split — never on the physical worker count, so a Workers=4 run
+//     with Shards=4 is bit-identical to a Workers=1 run with Shards=4;
+//
+//   - fault injection perturbs only the schedule accounting (retries,
+//     stalls), never the reduced values, so a faulty run recovers to the
+//     bitwise result of a fault-free run.
+package dist
+
+import "fmt"
+
+// Algorithm selects the allreduce communication pattern.
+type Algorithm int
+
+// The three topologies the paper's analysis compares (Table 2, Figure 9).
+const (
+	// Central is the parameter-server star: every worker sends to the
+	// root, which reduces and sends back. Serialized at the root, so both
+	// message count and latency rounds grow linearly in P.
+	Central Algorithm = iota
+	// Tree is the binomial tree: ⌈log₂P⌉ combining rounds up, the same
+	// back down. P−1 messages each way, logarithmic latency.
+	Tree
+	// Ring is the bandwidth-optimal chunked ring: a reduce-scatter
+	// followed by an allgather, 2(P−1) rounds of P concurrent chunk
+	// messages; each link carries only ~1/P of the payload per round.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Central:
+		return "central"
+	case Tree:
+		return "tree"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// CommStats counts the data movement of the executed schedules. The
+// aggregate view (total messages and bytes across all links) is what
+// internal/comm's Figure 9/10 arithmetic models; Steps counts latency
+// rounds, the α terms of the alpha-beta cost model.
+type CommStats struct {
+	// Messages is the number of point-to-point messages sent.
+	Messages int64
+	// Bytes is the total payload moved, summed over all messages.
+	Bytes int64
+	// Steps is the number of serialized communication rounds: messages
+	// that can fly concurrently (a ring round, one binomial-tree level)
+	// count as one step.
+	Steps int64
+	// Retries counts dropped payloads that were re-requested and resent
+	// by the fault-recovery path.
+	Retries int64
+	// Stalls counts lockstep rounds that waited on an injected straggler.
+	Stalls int64
+}
+
+// Add accumulates o into s.
+func (s *CommStats) Add(o CommStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Steps += o.Steps
+	s.Retries += o.Retries
+	s.Stalls += o.Stalls
+}
+
+// ceilLog2 returns ⌈log₂ p⌉ for p >= 1.
+func ceilLog2(p int) int64 {
+	var n int64
+	for v := 1; v < p; v *= 2 {
+		n++
+	}
+	return n
+}
+
+// reduceSchedule returns the schedule cost of one reduction of a
+// payloadBytes payload across p workers: the gradient-sum phase only
+// (pair with broadcastSchedule for a full allreduce). For Ring the
+// "reduction" is a reduce-scatter plus allgather, which already leaves the
+// result on every worker; its paired broadcast is the binomial weight
+// broadcast the engine issues after the optimizer step.
+func reduceSchedule(algo Algorithm, p int, payloadBytes int64) CommStats {
+	if p <= 1 {
+		return CommStats{}
+	}
+	switch algo {
+	case Central:
+		// P−1 workers each send their full payload to the root, which
+		// applies them serially.
+		return CommStats{
+			Messages: int64(p - 1),
+			Bytes:    int64(p-1) * payloadBytes,
+			Steps:    int64(p - 1),
+		}
+	case Tree:
+		// Binomial combine: every non-root node sends exactly once, in
+		// ⌈log₂P⌉ concurrent levels.
+		return CommStats{
+			Messages: int64(p - 1),
+			Bytes:    int64(p-1) * payloadBytes,
+			Steps:    ceilLog2(p),
+		}
+	case Ring:
+		// Reduce-scatter then allgather: 2(P−1) rounds, each moving all
+		// P chunks (~1/P of the payload each) concurrently around the
+		// ring. Aggregate bytes per round ≈ the payload; per-link bytes
+		// are 1/P of it, which is where the bandwidth optimality lives.
+		return CommStats{
+			Messages: 2 * int64(p) * int64(p-1),
+			Bytes:    2 * int64(p-1) * payloadBytes,
+			Steps:    2 * int64(p-1),
+		}
+	default:
+		panic(fmt.Sprintf("dist: unknown algorithm %v", algo))
+	}
+}
+
+// broadcastSchedule returns the schedule cost of distributing a
+// payloadBytes payload from the root to the other p−1 workers.
+func broadcastSchedule(algo Algorithm, p int, payloadBytes int64) CommStats {
+	if p <= 1 {
+		return CommStats{}
+	}
+	switch algo {
+	case Central:
+		// The server sends P−1 full copies, serially.
+		return CommStats{
+			Messages: int64(p - 1),
+			Bytes:    int64(p-1) * payloadBytes,
+			Steps:    int64(p - 1),
+		}
+	case Tree, Ring:
+		// Binomial broadcast: the set of informed workers doubles each
+		// round. Ring pairs its allreduce with the same binomial weight
+		// broadcast (matching comm.MessagesPerAllreduce's arithmetic).
+		return CommStats{
+			Messages: int64(p - 1),
+			Bytes:    int64(p-1) * payloadBytes,
+			Steps:    ceilLog2(p),
+		}
+	default:
+		panic(fmt.Sprintf("dist: unknown algorithm %v", algo))
+	}
+}
+
+// senderShare returns the message and byte count a single non-root worker
+// originates in one reduceSchedule — the unit of loss re-requested by the
+// fault-recovery path when that worker's payload is dropped.
+func senderShare(algo Algorithm, p int, payloadBytes int64) (msgs, bytes int64) {
+	if p <= 1 {
+		return 0, 0
+	}
+	switch algo {
+	case Central, Tree:
+		return 1, payloadBytes
+	case Ring:
+		// A ring participant forwards one chunk per round for 2(P−1)
+		// rounds; restarting its pass resends all of them.
+		return 2 * int64(p-1), 2 * int64(p-1) * payloadBytes / int64(p)
+	default:
+		panic(fmt.Sprintf("dist: unknown algorithm %v", algo))
+	}
+}

@@ -1,0 +1,146 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// algorithms lists the three topologies in the paper's order.
+var algorithms = []dist.Algorithm{dist.Central, dist.Tree, dist.Ring}
+
+// randomBufs builds p independent n-float buffers.
+func randomBufs(p, n int, seed uint64) [][]float32 {
+	r := rng.New(seed)
+	bufs := make([][]float32, p)
+	for w := range bufs {
+		bufs[w] = make([]float32, n)
+		for i := range bufs[w] {
+			bufs[w][i] = r.NormFloat32()
+		}
+	}
+	return bufs
+}
+
+func cloneBufs(bufs [][]float32) [][]float32 {
+	out := make([][]float32, len(bufs))
+	for w := range bufs {
+		out[w] = append([]float32(nil), bufs[w]...)
+	}
+	return out
+}
+
+// TestReduceIdenticalAcrossAlgorithms is the reproducibility contract: the
+// three topologies return bitwise-identical sums, equal to the canonical
+// float64-accumulated reference.
+func TestReduceIdenticalAcrossAlgorithms(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		src := randomBufs(p, 1000, uint64(p))
+		want := make([]float32, 1000)
+		for i := range want {
+			var acc float64
+			for w := 0; w < p; w++ {
+				acc += float64(src[w][i])
+			}
+			want[i] = float32(acc)
+		}
+		for _, algo := range algorithms {
+			bufs := cloneBufs(src)
+			dist.Reduce(algo, bufs, nil)
+			for i := range want {
+				if bufs[0][i] != want[i] {
+					t.Fatalf("%v P=%d: coord %d = %v, canonical reference %v", algo, p, i, bufs[0][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceBroadcastLeavesSumEverywhere: a full allreduce (Reduce +
+// Broadcast) must leave every worker holding the root's sum, under every
+// topology (Ring's Reduce already fans out; Broadcast must be idempotent
+// on it).
+func TestReduceBroadcastLeavesSumEverywhere(t *testing.T) {
+	for _, algo := range algorithms {
+		bufs := randomBufs(5, 257, 3)
+		dist.Reduce(algo, bufs, nil)
+		dist.Broadcast(algo, bufs, nil)
+		for w := 1; w < len(bufs); w++ {
+			for i := range bufs[0] {
+				if bufs[w][i] != bufs[0][i] {
+					t.Fatalf("%v: worker %d coord %d = %v, root %v", algo, w, i, bufs[w][i], bufs[0][i])
+				}
+			}
+		}
+	}
+}
+
+// TestCommStatsClosedForm pins the executed schedules to the closed forms
+// of the paper's analysis (internal/comm cross-checks the same numbers from
+// its side):
+//
+//	Central: 2(P−1) msgs, 2(P−1)·4n bytes, 2(P−1) rounds
+//	Tree:    2(P−1) msgs, 2(P−1)·4n bytes, 2⌈log₂P⌉ rounds
+//	Ring:    2P(P−1)+(P−1) msgs, 3(P−1)·4n bytes, 2(P−1)+⌈log₂P⌉ rounds
+func TestCommStatsClosedForm(t *testing.T) {
+	ceilLog2 := func(p int) int64 {
+		var n int64
+		for v := 1; v < p; v *= 2 {
+			n++
+		}
+		return n
+	}
+	const n = 100
+	payload := int64(4 * n)
+	for _, p := range []int{2, 3, 4, 8, 16, 64} {
+		pm := int64(p - 1)
+		want := map[dist.Algorithm]dist.CommStats{
+			dist.Central: {Messages: 2 * pm, Bytes: 2 * pm * payload, Steps: 2 * pm},
+			dist.Tree:    {Messages: 2 * pm, Bytes: 2 * pm * payload, Steps: 2 * ceilLog2(p)},
+			dist.Ring:    {Messages: 2*int64(p)*pm + pm, Bytes: 3 * pm * payload, Steps: 2*pm + ceilLog2(p)},
+		}
+		for _, algo := range algorithms {
+			bufs := randomBufs(p, n, uint64(p))
+			var stats dist.CommStats
+			dist.Reduce(algo, bufs, &stats)
+			dist.Broadcast(algo, bufs, &stats)
+			if stats != want[algo] {
+				t.Errorf("%v P=%d: stats %+v, want %+v", algo, p, stats, want[algo])
+			}
+		}
+	}
+}
+
+// TestSingleWorkerIsFree: with one worker there is nothing to move.
+func TestSingleWorkerIsFree(t *testing.T) {
+	for _, algo := range algorithms {
+		bufs := randomBufs(1, 64, 1)
+		before := append([]float32(nil), bufs[0]...)
+		var stats dist.CommStats
+		dist.Reduce(algo, bufs, &stats)
+		dist.Broadcast(algo, bufs, &stats)
+		if stats != (dist.CommStats{}) {
+			t.Errorf("%v: single worker moved %+v", algo, stats)
+		}
+		for i := range before {
+			if bufs[0][i] != before[i] {
+				t.Fatalf("%v: single-worker reduce changed coord %d", algo, i)
+			}
+		}
+	}
+}
+
+// TestAlgorithmString pins the labels used in flags and reports.
+func TestAlgorithmString(t *testing.T) {
+	for algo, want := range map[dist.Algorithm]string{
+		dist.Central: "central", dist.Tree: "tree", dist.Ring: "ring",
+	} {
+		if algo.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(algo), algo.String(), want)
+		}
+	}
+	if dist.Algorithm(99).String() != "Algorithm(99)" {
+		t.Error("unknown algorithm should render its ordinal")
+	}
+}

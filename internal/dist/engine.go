@@ -1,0 +1,461 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Algo selects the allreduce topology (default Central, the zero
+	// value; Ring is what the paper's large systems use).
+	Algo Algorithm
+	// Shards is the number of logical gradient shards each global batch
+	// is split into; 0 means one per worker. The shard split — not the
+	// worker count — determines the numerical result: two engines with
+	// equal Shards produce bit-identical gradients for any worker counts.
+	Shards int
+	// BucketElems chunks the flat gradient into reduction buckets of at
+	// most this many float32 coordinates, each reduced as its own
+	// collective (the overlap-friendly granularity real frameworks use;
+	// more, smaller messages). 0 reduces the whole gradient as one
+	// bucket.
+	BucketElems int
+	// Codec optionally compresses every reduction payload on the wire
+	// (lossy; see FP16Codec and OneBitCodec). nil exchanges raw float32.
+	Codec Codec
+	// Faults optionally injects deterministic drops and stalls into the
+	// reduction schedule. Recovery is exact: values are unaffected.
+	Faults *FaultPlan
+}
+
+// Engine drives synchronous data-parallel SGD over W model replicas using W
+// persistent worker goroutines in lockstep. Per training step the caller
+// runs ComputeGradient (shard forward/backward + gradient allreduce into
+// the master replica), steps the optimizer on the master's parameters, and
+// calls BroadcastWeights to resynchronize the replicas — the exact
+// two-phase structure the paper's cost model prices.
+//
+// The engine is not safe for concurrent use; like the replicas it owns, it
+// belongs to one training loop. Close releases the worker goroutines.
+type Engine struct {
+	cfg      Config
+	replicas []*nn.Network
+	params   [][]*nn.Param // per-replica parameter lists
+	nparams  int           // total float32 coordinates per replica
+	buckets  [][2]int      // bucket coordinate ranges
+
+	jobs []chan job
+	done chan error
+	wg   sync.WaitGroup
+
+	grads  [][]float32 // per logical shard: flat gradient
+	losses []float64   // per logical shard: mean loss over the shard
+	evalOK []int       // per worker: correct predictions of the last eval
+
+	reduced  []float32 // scratch: canonically reduced flat gradient
+	steps    int64
+	stats    CommStats
+	lastStep CommStats
+	closed   bool
+}
+
+type jobKind int
+
+const (
+	jobGrad jobKind = iota
+	jobEval
+	jobSync
+)
+
+// job is one lockstep command to a worker.
+type job struct {
+	kind   jobKind
+	x      *tensor.Tensor
+	labels []int
+	spans  [][2]int // row spans, indexed by slot
+	slots  []int    // which spans this worker owns
+	train  bool
+}
+
+// NewEngine builds an engine over the given replicas (one per worker; at
+// least one required) and synchronizes their weights to the master
+// (replicas[0]) so all workers start from identical parameters.
+func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
+	if len(replicas) == 0 {
+		panic("dist: NewEngine needs at least one replica")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(replicas)
+	}
+	if cfg.Shards < len(replicas) {
+		panic(fmt.Sprintf("dist: %d shards cannot feed %d workers", cfg.Shards, len(replicas)))
+	}
+	e := &Engine{
+		cfg:      cfg,
+		replicas: replicas,
+		params:   make([][]*nn.Param, len(replicas)),
+		done:     make(chan error, len(replicas)),
+		grads:    make([][]float32, cfg.Shards),
+		losses:   make([]float64, cfg.Shards),
+		evalOK:   make([]int, len(replicas)),
+	}
+	for w, r := range replicas {
+		e.params[w] = r.Params()
+		if len(e.params[w]) != len(e.params[0]) {
+			panic(fmt.Sprintf("dist: replica %d has %d params, master has %d", w, len(e.params[w]), len(e.params[0])))
+		}
+	}
+	for _, p := range e.params[0] {
+		e.nparams += p.Numel()
+	}
+	e.buckets = bucketRanges(e.nparams, cfg.BucketElems)
+	for s := range e.grads {
+		e.grads[s] = make([]float32, e.nparams)
+	}
+	e.reduced = make([]float32, e.nparams)
+
+	e.jobs = make([]chan job, len(replicas))
+	for w := range replicas {
+		e.jobs[w] = make(chan job)
+		e.wg.Add(1)
+		go e.worker(w)
+	}
+	e.BroadcastWeights()
+	return e
+}
+
+// bucketRanges splits [0, n) into chunks of at most elems coordinates.
+func bucketRanges(n, elems int) [][2]int {
+	if elems <= 0 || elems >= n {
+		if n == 0 {
+			return nil
+		}
+		return [][2]int{{0, n}}
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += elems {
+		hi := lo + elems
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Workers returns the physical worker (replica) count.
+func (e *Engine) Workers() int { return len(e.replicas) }
+
+// Master returns the master replica, whose parameters the optimizer steps.
+func (e *Engine) Master() *nn.Network { return e.replicas[0] }
+
+// Steps returns the number of gradient reductions performed.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Stats returns the cumulative communication counters.
+func (e *Engine) Stats() CommStats { return e.stats }
+
+// StepStats returns the counters of the most recent training step
+// (ComputeGradient plus any BroadcastWeights since).
+func (e *Engine) StepStats() CommStats { return e.lastStep }
+
+// Close shuts down the worker goroutines. The engine must not be used
+// afterwards; Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, ch := range e.jobs {
+		close(ch)
+	}
+	e.wg.Wait()
+}
+
+// record accounts one schedule into the cumulative and per-step counters.
+func (e *Engine) record(s CommStats) {
+	e.stats.Add(s)
+	e.lastStep.Add(s)
+}
+
+// worker is the lockstep loop of one persistent worker goroutine.
+func (e *Engine) worker(w int) {
+	defer e.wg.Done()
+	net := e.replicas[w]
+	loss := &nn.SoftmaxCrossEntropy{}
+	for j := range e.jobs[w] {
+		e.done <- e.run(w, net, loss, j)
+	}
+}
+
+// run executes one job, converting panics anywhere below (shape drift, bad
+// labels) into errors so a worker failure aborts the step instead of
+// crashing the process.
+func (e *Engine) run(w int, net *nn.Network, loss *nn.SoftmaxCrossEntropy, j job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dist: worker %d: %v", w, r)
+		}
+	}()
+	switch j.kind {
+	case jobGrad:
+		for _, slot := range j.slots {
+			lo, hi := j.spans[slot][0], j.spans[slot][1]
+			if lo == hi {
+				continue
+			}
+			x, labels := sliceRows(j.x, j.labels, lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			e.losses[slot] = loss.Forward(out, labels)
+			net.Backward(loss.Backward())
+			flatten(e.params[w], e.grads[slot])
+		}
+	case jobEval:
+		correct := 0
+		for _, slot := range j.slots {
+			lo, hi := j.spans[slot][0], j.spans[slot][1]
+			if lo == hi {
+				continue
+			}
+			x, labels := sliceRows(j.x, j.labels, lo, hi)
+			preds := net.Forward(x, false).ArgMaxRows()
+			for i, p := range preds {
+				if p == labels[i] {
+					correct++
+				}
+			}
+		}
+		e.evalOK[w] = correct
+	case jobSync:
+		if w != 0 {
+			net.CopyWeightsFrom(e.replicas[0])
+		}
+	}
+	return nil
+}
+
+// sliceRows returns an aliasing view of rows [lo, hi) of a batch tensor and
+// its labels.
+func sliceRows(x *tensor.Tensor, labels []int, lo, hi int) (*tensor.Tensor, []int) {
+	rowLen := x.Numel() / x.Shape[0]
+	shape := append([]int{hi - lo}, x.Shape[1:]...)
+	return tensor.FromSlice(x.Data[lo*rowLen:hi*rowLen], shape...), labels[lo:hi]
+}
+
+// flatten copies every parameter gradient into one flat vector.
+func flatten(params []*nn.Param, dst []float32) {
+	off := 0
+	for _, p := range params {
+		copy(dst[off:off+p.Numel()], p.G.Data)
+		off += p.Numel()
+	}
+}
+
+// dispatch sends one job per worker and waits for the lockstep barrier,
+// returning the first worker error.
+func (e *Engine) dispatch(mk func(w int) job) error {
+	if e.closed {
+		panic("dist: engine used after Close")
+	}
+	for w := range e.jobs {
+		e.jobs[w] <- mk(w)
+	}
+	var first error
+	for range e.jobs {
+		if err := <-e.done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ComputeGradient splits the global batch x ([B, ...] with len(labels) == B)
+// into the engine's logical shards, runs forward/backward on every shard
+// across the worker replicas in lockstep, and allreduces the shard
+// gradients — weighted by shard size, canonically ordered — into the master
+// replica's parameter gradients. It returns the batch-mean loss. The
+// replicas must hold identical weights (NewEngine and BroadcastWeights
+// guarantee this in the standard loop).
+func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error) {
+	b := x.Shape[0]
+	if b == 0 {
+		panic("dist: ComputeGradient on an empty batch")
+	}
+	if len(labels) != b {
+		panic(fmt.Sprintf("dist: %d labels for batch of %d", len(labels), b))
+	}
+	spans := data.Spans(b, e.cfg.Shards)
+	e.lastStep = CommStats{}
+	if err := e.dispatch(func(w int) job {
+		return job{kind: jobGrad, x: x, labels: labels, spans: spans, slots: e.ownedSlots(w)}
+	}); err != nil {
+		return 0, err
+	}
+	payloads := e.reduceShards(spans, b)
+	e.injectFaults(payloads)
+	e.steps++
+
+	var loss float64
+	for s, span := range spans {
+		if span[0] == span[1] {
+			continue
+		}
+		loss += float64(span[1]-span[0]) / float64(b) * e.losses[s]
+	}
+	return loss, nil
+}
+
+// ownedSlots returns the logical shard slots worker w processes: shard s
+// belongs to worker s mod W, keeping the per-worker load within one shard
+// of even for any Shards/Workers ratio.
+func (e *Engine) ownedSlots(w int) []int {
+	var slots []int
+	for s := w; s < e.cfg.Shards; s += len(e.replicas) {
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+// reduceShards performs the bucketed allreduce of the shard gradients into
+// the master replica's parameter gradients: per bucket, the optional codec
+// rounds every shard payload through its wire format, the schedule of the
+// configured topology is accounted, and the canonical float64-accumulated
+// weighted sum lands in the master. It returns the accounted per-bucket
+// wire payload sizes so fault recovery prices resends consistently.
+func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
+	weights := make([]float64, len(spans))
+	var live []int
+	for s, span := range spans {
+		if span[0] == span[1] {
+			continue
+		}
+		weights[s] = float64(span[1]-span[0]) / float64(b)
+		live = append(live, s)
+	}
+	payloads := make([]int64, len(e.buckets))
+	for bi, bucket := range e.buckets {
+		lo, hi := bucket[0], bucket[1]
+		payload := 4 * int64(hi-lo)
+		if e.cfg.Codec != nil {
+			// Per-payload wire sizes may differ for data-dependent
+			// codecs; the schedule formulas price one uniform payload,
+			// so account the mean wire size across the shards.
+			wires := make([]int64, len(live))
+			tasks := make([]func(), len(live))
+			for i, s := range live {
+				slot := s*len(e.buckets) + bi
+				seg := e.grads[s][lo:hi]
+				i := i
+				tasks[i] = func() { wires[i] = e.cfg.Codec.Transform(slot, seg) }
+			}
+			par.Do(tasks...)
+			var total int64
+			for _, w := range wires {
+				total += w
+			}
+			payload = total / int64(len(live))
+		}
+		payloads[bi] = payload
+		e.record(reduceSchedule(e.cfg.Algo, len(e.replicas), payload))
+	}
+	par.ForGrain(e.nparams, 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for _, s := range live {
+				acc += weights[s] * float64(e.grads[s][i])
+			}
+			e.reduced[i] = float32(acc)
+		}
+	})
+	off := 0
+	for _, p := range e.params[0] {
+		copy(p.G.Data, e.reduced[off:off+p.Numel()])
+		off += p.Numel()
+	}
+	return payloads
+}
+
+// injectFaults rolls the fault plan for the current step and accounts the
+// recovery traffic: a dropped worker payload is re-requested and resent
+// (Retries plus that worker's sender share of every bucket), a straggler
+// holds the barrier for one round (Stalls). Values are never affected —
+// recovery is exact, which is what keeps faulty runs bit-identical to
+// clean ones.
+func (e *Engine) injectFaults(payloads []int64) {
+	f := e.cfg.Faults
+	if !f.enabled() || len(e.replicas) == 1 {
+		return
+	}
+	for w := range e.replicas {
+		drop, stall := f.roll(e.steps, w)
+		if drop {
+			var st CommStats
+			st.Retries = 1
+			for _, payload := range payloads {
+				msgs, bytes := senderShare(e.cfg.Algo, len(e.replicas), payload)
+				st.Messages += msgs
+				st.Bytes += bytes
+			}
+			e.record(st)
+		}
+		if stall {
+			e.record(CommStats{Stalls: 1})
+		}
+	}
+}
+
+// BroadcastWeights resynchronizes every replica's parameters from the
+// master — the weight-distribution phase following the optimizer step —
+// and accounts the broadcast schedule per bucket.
+func (e *Engine) BroadcastWeights() {
+	if err := e.dispatch(func(w int) job { return job{kind: jobSync} }); err != nil {
+		panic(err) // CopyWeightsFrom only fails on architecture drift
+	}
+	for _, bucket := range e.buckets {
+		e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), 4*int64(bucket[1]-bucket[0])))
+	}
+}
+
+// EvalAccuracy computes top-1 accuracy of the master weights over the
+// images, processed data-parallel in chunks of at most batch rows assigned
+// round-robin to the workers. The replicas must be weight-synchronized, so
+// every chunk's logits are identical whichever replica computes them.
+func (e *Engine) EvalAccuracy(images *tensor.Tensor, labels []int, batch int) float64 {
+	n := images.Shape[0]
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	var spans [][2]int
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	slots := make([][]int, len(e.replicas))
+	for i := range spans {
+		w := i % len(e.replicas)
+		slots[w] = append(slots[w], i)
+	}
+	if err := e.dispatch(func(w int) job {
+		return job{kind: jobEval, x: images, labels: labels, spans: spans, slots: slots[w]}
+	}); err != nil {
+		panic(err) // eval shares the forward path already validated in training
+	}
+	correct := 0
+	for _, c := range e.evalOK {
+		correct += c
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,398 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// testTask builds a tiny classification batch and an MLP replica factory.
+func testTask(batch int) (*tensor.Tensor, []int, func(seed uint64) *nn.Network) {
+	ds := data.GenerateSynth(data.SynthConfig{
+		Classes: 4, TrainSize: 256, TestSize: 64,
+		C: 3, H: 8, W: 8, Noise: 0.25, MaxShift: 1, Seed: 7,
+	})
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := ds.Train.Gather(idx)
+	factory := func(seed uint64) *nn.Network {
+		return models.NewMLP(models.MicroConfig{Classes: 4, InC: 3, InH: 8, InW: 8, Width: 4, Seed: seed})
+	}
+	return x, labels, factory
+}
+
+func newEngine(cfg dist.Config, workers int, factory func(uint64) *nn.Network) *dist.Engine {
+	replicas := make([]*nn.Network, workers)
+	for i := range replicas {
+		replicas[i] = factory(1 + uint64(i)*7919)
+	}
+	return dist.NewEngine(cfg, replicas)
+}
+
+// flatGrad flattens the master's parameter gradients.
+func flatGrad(e *dist.Engine) []float32 {
+	var out []float32
+	for _, p := range e.Master().Params() {
+		out = append(out, p.G.Data...)
+	}
+	return out
+}
+
+// TestGradientIndependentOfWorkerCount is the engine's reproducibility
+// contract: with the logical shard count pinned, the physical worker count
+// does not change a single bit of the reduced gradient or the loss.
+func TestGradientIndependentOfWorkerCount(t *testing.T) {
+	x, labels, factory := testTask(64)
+	const shards = 4
+	var refGrad []float32
+	var refLoss float64
+	for _, workers := range []int{1, 2, 4} {
+		e := newEngine(dist.Config{Algo: dist.Ring, Shards: shards}, workers, factory)
+		loss, err := e.ComputeGradient(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := flatGrad(e)
+		e.Close()
+		if refGrad == nil {
+			refGrad, refLoss = grad, loss
+			continue
+		}
+		if loss != refLoss {
+			t.Fatalf("W=%d: loss %v differs bitwise from W=1's %v", workers, loss, refLoss)
+		}
+		for i := range grad {
+			if grad[i] != refGrad[i] {
+				t.Fatalf("W=%d: grad coord %d = %v differs bitwise from W=1's %v", workers, i, grad[i], refGrad[i])
+			}
+		}
+	}
+}
+
+// TestGradientIdenticalAcrossAlgorithms: topology choice is pure cost
+// accounting; the reduced gradient is bitwise the same.
+func TestGradientIdenticalAcrossAlgorithms(t *testing.T) {
+	x, labels, factory := testTask(64)
+	var ref []float32
+	for _, algo := range algorithms {
+		e := newEngine(dist.Config{Algo: algo}, 4, factory)
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			t.Fatal(err)
+		}
+		grad := flatGrad(e)
+		e.Close()
+		if ref == nil {
+			ref = grad
+			continue
+		}
+		for i := range grad {
+			if grad[i] != ref[i] {
+				t.Fatalf("%v: grad coord %d differs across algorithms", algo, i)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesDirectComputation: a single-worker, single-shard engine
+// reduces to plain forward/backward on the master network.
+func TestEngineMatchesDirectComputation(t *testing.T) {
+	x, labels, factory := testTask(32)
+	e := newEngine(dist.Config{}, 1, factory)
+	defer e.Close()
+	gotLoss, err := e.ComputeGradient(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flatGrad(e)
+
+	net := factory(1)
+	loss := &nn.SoftmaxCrossEntropy{}
+	net.ZeroGrad()
+	wantLoss := loss.Forward(net.Forward(x, true), labels)
+	net.Backward(loss.Backward())
+	var want []float32
+	for _, p := range net.Params() {
+		want = append(want, p.G.Data...)
+	}
+	if gotLoss != wantLoss {
+		t.Fatalf("engine loss %v, direct %v", gotLoss, wantLoss)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grad coord %d: engine %v, direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBucketingPreservesValuesAndScalesMessages: buckets multiply the
+// collective count without touching the reduced values.
+func TestBucketingPreservesValuesAndScalesMessages(t *testing.T) {
+	x, labels, factory := testTask(64)
+	whole := newEngine(dist.Config{Algo: dist.Tree}, 4, factory)
+	if _, err := whole.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	wholeGrad := flatGrad(whole)
+	wholeStep := whole.StepStats()
+	whole.Close()
+
+	n := len(wholeGrad)
+	bucketed := newEngine(dist.Config{Algo: dist.Tree, BucketElems: n/3 + 1}, 4, factory)
+	if _, err := bucketed.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	bGrad := flatGrad(bucketed)
+	bStep := bucketed.StepStats()
+	bucketed.Close()
+
+	for i := range wholeGrad {
+		if bGrad[i] != wholeGrad[i] {
+			t.Fatalf("bucketing changed grad coord %d", i)
+		}
+	}
+	if want := 3 * wholeStep.Messages; bStep.Messages != want {
+		t.Fatalf("3 buckets moved %d messages, want %d", bStep.Messages, want)
+	}
+	if bStep.Bytes != wholeStep.Bytes {
+		t.Fatalf("bucketing changed total bytes: %d vs %d", bStep.Bytes, wholeStep.Bytes)
+	}
+}
+
+// TestStepStatsMatchExpected: one engine step's counters equal
+// comm.ExpectedStats for the full gradient payload.
+func TestStepStatsMatchExpected(t *testing.T) {
+	x, labels, factory := testTask(64)
+	payload := int64(4 * factory(1).NumParams())
+	for _, algo := range algorithms {
+		for _, workers := range []int{2, 3, 4, 8} {
+			e := newEngine(dist.Config{Algo: algo}, workers, factory)
+			if _, err := e.ComputeGradient(x, labels); err != nil {
+				t.Fatal(err)
+			}
+			e.BroadcastWeights()
+			got := e.StepStats()
+			e.Close()
+			if want := comm.ExpectedStats(algo, workers, payload); got != want {
+				t.Errorf("%v P=%d: step stats %+v, want %+v", algo, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestFaultInjectionRecoversDeterministically: a heavily faulty run must
+// (a) be bitwise identical to a clean run in values, (b) record recovery
+// traffic, and (c) reproduce its own stats exactly when repeated.
+func TestFaultInjectionRecoversDeterministically(t *testing.T) {
+	x, labels, factory := testTask(64)
+	run := func(faults *dist.FaultPlan) ([]float32, float64, dist.CommStats) {
+		e := newEngine(dist.Config{Algo: dist.Ring, Faults: faults}, 4, factory)
+		defer e.Close()
+		var loss float64
+		var err error
+		for step := 0; step < 5; step++ {
+			loss, err = e.ComputeGradient(x, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A toy update so successive steps see changed weights.
+			for _, p := range e.Master().Params() {
+				p.W.Axpy(-0.05, p.G)
+			}
+			e.BroadcastWeights()
+		}
+		return flatGrad(e), loss, e.Stats()
+	}
+	cleanGrad, cleanLoss, cleanStats := run(nil)
+	plan := &dist.FaultPlan{Seed: 9, DropRate: 0.5, StallRate: 0.5}
+	faultGrad, faultLoss, faultStats := run(plan)
+	if faultLoss != cleanLoss {
+		t.Fatalf("faults changed the loss: %v vs %v", faultLoss, cleanLoss)
+	}
+	for i := range cleanGrad {
+		if faultGrad[i] != cleanGrad[i] {
+			t.Fatalf("faults changed grad coord %d", i)
+		}
+	}
+	if faultStats.Retries == 0 || faultStats.Stalls == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", faultStats)
+	}
+	if faultStats.Messages <= cleanStats.Messages {
+		t.Fatal("recovery should resend messages")
+	}
+	_, _, again := run(plan)
+	if again != faultStats {
+		t.Fatalf("fault schedule not deterministic: %+v vs %+v", again, faultStats)
+	}
+}
+
+// TestRetryBytesUseCodecWireSize: fault-recovery resends must be priced at
+// the codec's wire size, consistent with the normal reduction accounting.
+func TestRetryBytesUseCodecWireSize(t *testing.T) {
+	x, labels, factory := testTask(32)
+	wire := int64(2 * factory(1).NumParams()) // fp16: 2 bytes per coord
+	e := newEngine(dist.Config{
+		Algo: dist.Tree, Codec: dist.FP16Codec{},
+		Faults: &dist.FaultPlan{Seed: 1, DropRate: 1}, // worker 1 drops every step
+	}, 2, factory)
+	defer e.Close()
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	step := e.StepStats() // reduce (1 msg of wire bytes at P=2) + 1 retry
+	if step.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", step.Retries)
+	}
+	if want := 2 * wire; step.Bytes != want {
+		t.Fatalf("step bytes = %d, want %d (reduce + resend, both at fp16 wire size)", step.Bytes, want)
+	}
+}
+
+// TestFP16CodecRoundsPayloads: the FP16 codec halves the wire bytes and
+// rounds gradients through half precision (close to, but not equal to, the
+// raw exchange).
+func TestFP16CodecRoundsPayloads(t *testing.T) {
+	x, labels, factory := testTask(64)
+	raw := newEngine(dist.Config{Algo: dist.Tree}, 2, factory)
+	if _, err := raw.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	rawGrad := flatGrad(raw)
+	rawStep := raw.StepStats()
+	raw.Close()
+
+	fp16 := newEngine(dist.Config{Algo: dist.Tree, Codec: dist.FP16Codec{}}, 2, factory)
+	if _, err := fp16.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	halfGrad := flatGrad(fp16)
+	halfStep := fp16.StepStats()
+	fp16.Close()
+
+	if halfStep.Bytes != rawStep.Bytes/2 {
+		t.Fatalf("fp16 moved %d bytes, want half of %d", halfStep.Bytes, rawStep.Bytes)
+	}
+	var maxErr, scale float64
+	for i := range rawGrad {
+		maxErr = math.Max(maxErr, math.Abs(float64(rawGrad[i])-float64(halfGrad[i])))
+		scale = math.Max(scale, math.Abs(float64(rawGrad[i])))
+	}
+	if maxErr == 0 {
+		t.Fatal("fp16 rounding should perturb at least one coordinate")
+	}
+	if maxErr > 1e-3*scale+1e-6 {
+		t.Fatalf("fp16 error %v too large for gradient scale %v", maxErr, scale)
+	}
+}
+
+// TestOneBitCodecCompressesAndConverges: 1-bit payloads shrink the wire
+// ~30x, and with error feedback repeated steps still descend the loss.
+func TestOneBitCodecCompressesAndConverges(t *testing.T) {
+	x, labels, factory := testTask(64)
+	e := newEngine(dist.Config{Algo: dist.Central, Codec: dist.NewOneBitCodec()}, 2, factory)
+	defer e.Close()
+	first, err := e.ComputeGradient(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := e.StepStats()
+	rawBytes := int64(4*factory(1).NumParams()) * 2 // 2 messages at P=2
+	if step.Bytes >= rawBytes/20 {
+		t.Fatalf("1-bit wire %d bytes, want ~32x under raw %d", step.Bytes, rawBytes)
+	}
+	loss := first
+	for i := 0; i < 30; i++ {
+		for _, p := range e.Master().Params() {
+			p.W.Axpy(-0.1, p.G)
+		}
+		e.BroadcastWeights()
+		loss, err = e.ComputeGradient(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss >= first {
+		t.Fatalf("1-bit SGD failed to descend: %v -> %v", first, loss)
+	}
+}
+
+// TestEvalAccuracyDataParallel: the sharded evaluation equals a direct
+// master-replica evaluation for any worker count.
+func TestEvalAccuracyDataParallel(t *testing.T) {
+	x, labels, factory := testTask(100)
+	want := -1.0
+	for _, workers := range []int{1, 3} {
+		e := newEngine(dist.Config{}, workers, factory)
+		got := e.EvalAccuracy(x, labels, 32)
+		e.Close()
+		if want < 0 {
+			// Reference: direct forward on a fresh master-seeded net.
+			net := factory(1)
+			want = nn.Accuracy(net.Forward(x, false), labels)
+		}
+		if got != want {
+			t.Fatalf("W=%d: eval accuracy %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestWorkerPanicBecomesError: bad labels must surface as an error from the
+// lockstep barrier, not crash the process.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	x, labels, factory := testTask(32)
+	labels[7] = 99 // out of class range
+	e := newEngine(dist.Config{}, 2, factory)
+	defer e.Close()
+	if _, err := e.ComputeGradient(x, labels); err == nil {
+		t.Fatal("expected worker error for out-of-range label")
+	}
+	// The engine must survive the failed step and accept a corrected one.
+	labels[7] = 0
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatalf("engine unusable after recovered error: %v", err)
+	}
+}
+
+// TestUnevenShards: batch sizes that do not divide the shard count still
+// reduce to the exact batch mean (weighted by shard length).
+func TestUnevenShards(t *testing.T) {
+	x, labels, factory := testTask(50) // 50 rows over 4 shards: 13/13/12/12
+	e := newEngine(dist.Config{Shards: 4}, 4, factory)
+	defer e.Close()
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	got := flatGrad(e)
+
+	net := factory(1)
+	loss := &nn.SoftmaxCrossEntropy{}
+	net.ZeroGrad()
+	loss.Forward(net.Forward(x, true), labels)
+	net.Backward(loss.Backward())
+	var want []float32
+	for _, p := range net.Params() {
+		want = append(want, p.G.Data...)
+	}
+	var maxErr float64
+	for i := range want {
+		maxErr = math.Max(maxErr, math.Abs(float64(got[i])-float64(want[i])))
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("uneven-shard gradient off by %v from full-batch reference", maxErr)
+	}
+}
+
+// TestCloseIdempotent: double Close must not panic or deadlock.
+func TestCloseIdempotent(t *testing.T) {
+	_, _, factory := testTask(8)
+	e := newEngine(dist.Config{}, 2, factory)
+	e.Close()
+	e.Close()
+}

@@ -1,0 +1,51 @@
+package dist
+
+// FaultPlan injects deterministic communication faults into the engine's
+// reduction rounds, for scenario diversity: the same plan over the same run
+// always drops and stalls the same (step, worker) pairs, so faulty runs are
+// exactly reproducible — and, because the synchronous engine re-requests
+// dropped payloads and waits out stragglers, they recover to the bitwise
+// result of a fault-free run (tested).
+type FaultPlan struct {
+	// Seed keys the fault schedule. Two engines with equal plans inject
+	// identical faults.
+	Seed uint64
+	// DropRate is the per-(step, worker) probability in [0,1] that the
+	// worker's reduction payload is lost in transit and must be resent
+	// (CommStats.Retries, plus the resent messages and bytes).
+	DropRate float64
+	// StallRate is the per-(step, worker) probability in [0,1] that the
+	// worker straggles, holding the lockstep barrier for one round
+	// (CommStats.Stalls).
+	StallRate float64
+}
+
+// enabled reports whether the plan can ever fire.
+func (f *FaultPlan) enabled() bool {
+	return f != nil && (f.DropRate > 0 || f.StallRate > 0)
+}
+
+// roll returns the two fault decisions for a worker at a step. Worker 0 is
+// the root/coordinator and never drops its own payload (a parameter server
+// does not lose messages to itself), though it can straggle.
+func (f *FaultPlan) roll(step int64, worker int) (drop, stall bool) {
+	if !f.enabled() {
+		return false, false
+	}
+	h := splitmix(f.Seed ^ uint64(step)*0x9e3779b97f4a7c15 ^ uint64(worker)*0xbf58476d1ce4e5b9)
+	const scale = 1.0 / (1 << 53)
+	u1 := float64(h>>11) * scale
+	u2 := float64(splitmix(h)>>11) * scale
+	drop = worker != 0 && u1 < f.DropRate
+	stall = u2 < f.StallRate
+	return drop, stall
+}
+
+// splitmix is the SplitMix64 finalizer — a cheap, well-mixed hash that
+// keeps the fault schedule independent across steps and workers.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

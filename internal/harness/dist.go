@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/nn"
+)
+
+// AllreduceStudy drives the real synchronous engine — shard forward/
+// backward, gradient allreduce, weight broadcast — for one training step
+// under each topology and tabulates the observed per-step CommStats next
+// to internal/comm's closed-form schedule and its alpha-beta price on FDR
+// InfiniBand. It is the measured companion of Table 11 and Figure 9: the
+// counters the analytic exhibits model, recorded from execution.
+func AllreduceStudy(s *Setup, workers int) (*Table, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	t := &Table{
+		ID: "Allreduce study", Title: fmt.Sprintf("One measured engine step per topology (P=%d, micro-AlexNet)", workers),
+		Header: []string{"algorithm", "messages", "payload MB", "latency rounds", "model msgs", "model rounds", "FDR time"},
+	}
+	ds := s.Dataset()
+	idx := make([]int, min(256, ds.Train.Len()))
+	for i := range idx {
+		idx[i] = i
+	}
+	x, labels := ds.Train.Gather(idx)
+	var weightBytes int64
+	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+		replicas := make([]*nn.Network, workers)
+		for i := range replicas {
+			replicas[i] = s.Factory()(s.Seed + uint64(i)*7919)
+		}
+		weightBytes = int64(4 * replicas[0].NumParams())
+		e := dist.NewEngine(dist.Config{Algo: algo}, replicas)
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.BroadcastWeights()
+		step := e.StepStats()
+		e.Close()
+		model := comm.ExpectedStats(algo, workers, weightBytes)
+		t.Add(algo.String(),
+			fmt.Sprintf("%d", step.Messages),
+			fmt.Sprintf("%.2f", float64(step.Bytes)/1e6),
+			fmt.Sprintf("%d", step.Steps),
+			fmt.Sprintf("%d", model.Messages),
+			fmt.Sprintf("%d", model.Steps),
+			fmt.Sprintf("%.2fms", 1e3*comm.MellanoxFDR.TimeFromStats(step)))
+	}
+	t.Note("Observed counters come from the executed schedule (internal/dist); the model columns are comm.ExpectedStats' closed forms.")
+	t.Note("Ring trades P× more (small) messages for per-link payloads 1/P the size — the bandwidth optimality of Table 2's systems.")
+	return t, nil
+}

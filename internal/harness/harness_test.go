@@ -32,6 +32,27 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestAllreduceStudyMechanics drives the engine-backed exhibit at test
+// scale: one row per topology, and the observed message column must equal
+// the closed-form model column (they share the table).
+func TestAllreduceStudyMechanics(t *testing.T) {
+	tbl, err := AllreduceStudy(fastSetup(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows, want one per topology", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != row[4] {
+			t.Errorf("%s: observed %s messages vs model %s", row[0], row[1], row[4])
+		}
+		if row[3] != row[5] {
+			t.Errorf("%s: observed %s rounds vs model %s", row[0], row[3], row[5])
+		}
+	}
+}
+
 func TestAnalyticTables(t *testing.T) {
 	cases := []struct {
 		tbl      *Table

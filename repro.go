@@ -10,8 +10,11 @@
 //	internal/models     AlexNet(+BN), ResNet-18/34/50 specs + trainable nets
 //	internal/data       SynthImageNet, sharding, augmentation, prefetch loader
 //	internal/opt        SGD(+Nesterov), LARS(+LARC), poly/warmup/cosine
-//	internal/dist       synchronous data-parallel engine (central/tree/ring,
-//	                    bucketing, fault injection)
+//	internal/dist       synchronous data-parallel engine: lockstep goroutine
+//	                    workers, central/tree/ring allreduce with exact
+//	                    message/byte/round accounting, gradient bucketing,
+//	                    1-bit/FP16 payload codecs, deterministic fault
+//	                    injection with exact recovery
 //	internal/comm       alpha-beta cost model, energy model
 //	internal/cluster    calibrated machine profiles + time simulator
 //	internal/core       the large-batch Trainer (the paper's recipe)
@@ -164,15 +167,38 @@ func LinearScalingRule(baseLR float64, baseBatch, batch int) float64 {
 
 // Distributed engine.
 type (
-	// Engine drives synchronous data-parallel SGD over worker replicas.
+	// Engine drives synchronous data-parallel SGD over worker replicas:
+	// W lockstep goroutine workers, shard forward/backward, bucketed
+	// gradient allreduce under a chosen topology, weight broadcast,
+	// optional payload compression and deterministic fault injection.
 	Engine = dist.Engine
-	// EngineConfig configures the engine.
+	// EngineConfig configures the engine (topology, logical shards,
+	// bucket size, codec, fault plan).
 	EngineConfig = dist.Config
 	// Algorithm selects the allreduce pattern.
 	Algorithm = dist.Algorithm
-	// CommStats counts messages/bytes/rounds moved.
+	// CommStats counts messages/bytes/latency rounds moved, plus
+	// fault-recovery retries and stalls.
 	CommStats = dist.CommStats
+	// FaultPlan injects deterministic drops/stalls into the engine's
+	// reduction schedule; recovery is exact.
+	FaultPlan = dist.FaultPlan
+	// PayloadCodec compresses gradient exchange payloads on the wire
+	// (see FP16Codec and NewOneBitCodec).
+	PayloadCodec = dist.Codec
+	// FP16Codec exchanges gradients in IEEE half precision.
+	FP16Codec = dist.FP16Codec
 )
+
+// NewOneBitCodec returns a 1-bit SGD payload codec with error feedback.
+func NewOneBitCodec() *dist.OneBitCodec { return dist.NewOneBitCodec() }
+
+// Allreduce runs one reduction + broadcast over the workers' buffers under
+// the given topology, accumulating the executed schedule into stats.
+func Allreduce(algo Algorithm, bufs [][]float32, stats *CommStats) {
+	dist.Reduce(algo, bufs, stats)
+	dist.Broadcast(algo, bufs, stats)
+}
 
 // Allreduce algorithms.
 const (
