@@ -5,7 +5,17 @@
 //
 // It prints the iteration count, per-iteration compute/communication split,
 // sustained throughput and total wall-clock, and can sweep node counts to
-// show the scaling curve.
+// show the scaling curve (-sweep).
+//
+// -per-node groups the devices into nodes of that size and prices the
+// allreduce hierarchically: -intra-algo over the -intra-network fabric
+// inside each node, feeding -algo over -network across the node leaders,
+// with the per-tier schedule reported separately. A multi-chassis DGX-1
+// deployment, for example:
+//
+//	simulate -model resnet50 -batch 8192 -nodes 32 -machine p100 \
+//	         -per-node 8 -intra-network nvlink -intra-algo ring \
+//	         -network fdr -algo tree
 package main
 
 import (
@@ -24,16 +34,19 @@ func main() {
 	log.SetPrefix("simulate: ")
 
 	var (
-		model   = flag.String("model", "resnet50", "model: alexnet | alexnet-bn | resnet50")
-		machine = flag.String("machine", "knl", "device: k20 | m40 | p100 | knl | cpu")
-		network = flag.String("network", "opa", "fabric: fdr | qdr | 10gbe | opa | nvlink")
-		algo    = flag.String("algo", "ring", "allreduce: central | tree | ring")
-		nodes   = flag.Int("nodes", 2048, "device count")
-		batch   = flag.Int("batch", 32768, "global batch size")
-		epochs  = flag.Int("epochs", 90, "epoch budget")
-		dataset = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
-		overlap = flag.Bool("overlap", false, "overlap communication with computation")
-		sweep   = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
+		model    = flag.String("model", "resnet50", "model: alexnet | alexnet-bn | resnet50")
+		machine  = flag.String("machine", "knl", "device: k20 | m40 | p100 | knl | cpu")
+		network  = flag.String("network", "opa", "fabric: fdr | qdr | 10gbe | opa | nvlink (cross-node tier when -per-node is set)")
+		algo     = flag.String("algo", "ring", "allreduce: central | tree | ring (cross-node tier when -per-node is set)")
+		nodes    = flag.Int("nodes", 2048, "device count")
+		batch    = flag.Int("batch", 32768, "global batch size")
+		epochs   = flag.Int("epochs", 90, "epoch budget")
+		dataset  = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
+		overlap  = flag.Bool("overlap", false, "overlap communication with computation")
+		sweep    = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
+		perNode  = flag.Int("per-node", 0, "devices per node for two-tier hierarchical pricing (0 = flat; must divide -nodes)")
+		intraNet = flag.String("intra-network", "nvlink", "within-node fabric when -per-node is set: fdr | qdr | 10gbe | opa | nvlink")
+		intraAlg = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
 	)
 	flag.Parse()
 
@@ -65,36 +78,49 @@ func main() {
 		log.Fatalf("unknown machine %q", *machine)
 	}
 
-	var net comm.Network
-	switch *network {
-	case "fdr":
-		net = comm.MellanoxFDR
-	case "qdr":
-		net = comm.IntelQDR
-	case "10gbe":
-		net = comm.Intel10GbE
-	case "opa":
-		net = cluster.OmniPath
-	case "nvlink":
-		net = cluster.NVLinkHybrid
-	default:
-		log.Fatalf("unknown network %q", *network)
+	parseNet := func(name string) comm.Network {
+		switch name {
+		case "fdr":
+			return comm.MellanoxFDR
+		case "qdr":
+			return comm.IntelQDR
+		case "10gbe":
+			return comm.Intel10GbE
+		case "opa":
+			return cluster.OmniPath
+		case "nvlink":
+			return cluster.NVLinkHybrid
+		default:
+			log.Fatalf("unknown network %q", name)
+			panic("unreachable")
+		}
 	}
-
-	var a dist.Algorithm
-	switch *algo {
-	case "central":
-		a = dist.Central
-	case "tree":
-		a = dist.Tree
-	case "ring":
-		a = dist.Ring
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+	parseAlgo := func(name string) dist.Algorithm {
+		switch name {
+		case "central":
+			return dist.Central
+		case "tree":
+			return dist.Tree
+		case "ring":
+			return dist.Ring
+		default:
+			log.Fatalf("unknown algorithm %q", name)
+			panic("unreachable")
+		}
 	}
+	net := parseNet(*network)
+	a := parseAlgo(*algo)
 
 	run := func(n int) cluster.Estimate {
 		c := cluster.Cluster{Machine: m, Count: n, Network: net, Algo: a, Overlap: *overlap}
+		if *perNode > 0 {
+			if n%*perNode != 0 {
+				log.Fatalf("-per-node %d does not divide %d devices", *perNode, n)
+			}
+			c.PerNode = *perNode
+			c.IntraNetwork = parseNet(*intraNet)
+			c.IntraAlgo = parseAlgo(*intraAlg)
+		}
 		return cluster.Simulate(c, spec, *batch, *epochs, *dataset)
 	}
 
@@ -117,12 +143,23 @@ func main() {
 		log.Fatalf("%s does not fit on %s even at batch 1", spec.Name, m.Name)
 	}
 	fmt.Printf("model:       %s (|W|=%.1fMB, %.2f GFLOPs/image)\n", spec.Name, float64(spec.WeightBytes())/1e6, float64(spec.FLOPsPerImage())/1e9)
-	fmt.Printf("cluster:     %d x %s over %s (%s allreduce)\n", *nodes, m.Name, net.Name, a)
+	if h, ok := e.Cluster.Hierarchy(); ok {
+		fmt.Printf("cluster:     %d x %s as %d nodes of %d: %s %s intra, %s %s inter\n",
+			*nodes, m.Name, h.Nodes, h.PerNode, e.Cluster.IntraNetwork.Name, h.Intra, net.Name, h.Inter)
+	} else {
+		fmt.Printf("cluster:     %d x %s over %s (%s allreduce)\n", *nodes, m.Name, net.Name, a)
+	}
 	fmt.Printf("batch:       %d global, %d/device (compute micro-batch %d)\n", *batch, e.LocalBatch, e.MicroBatch)
 	fmt.Printf("iterations:  %d (%d epochs of %d images)\n", e.Iterations, *epochs, *dataset)
 	fmt.Printf("iteration:   %.4fs compute + %.4fs communication\n", e.CompSec, e.CommSec)
 	fmt.Printf("allreduce:   %d messages, %.1f MB aggregate, %d latency rounds per iteration (%s)\n",
 		e.Comm.Messages, float64(e.Comm.Bytes)/1e6, e.Comm.Steps, a)
+	if _, ok := e.Cluster.Hierarchy(); ok {
+		fmt.Printf("  intra tier: %d messages, %.1f MB, %d rounds (concurrent across nodes)\n",
+			e.TierComm.Intra.Messages, float64(e.TierComm.Intra.Bytes)/1e6, e.TierComm.Intra.Steps)
+		fmt.Printf("  inter tier: %d messages, %.1f MB, %d rounds (node leaders)\n",
+			e.TierComm.Inter.Messages, float64(e.TierComm.Inter.Bytes)/1e6, e.TierComm.Inter.Steps)
+	}
 	fmt.Printf("throughput:  %.0f images/sec\n", e.ImagesSec)
 	fmt.Printf("total:       %s\n", e.Duration().Round(1e9))
 }

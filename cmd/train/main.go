@@ -1,10 +1,57 @@
 // Command train runs one large-batch training experiment on SynthImageNet
-// and prints per-epoch metrics. It exposes every knob of the paper's recipe:
+// and prints per-epoch metrics. It exposes every knob of the paper's recipe
+// (model, batch, epoch budget, method, warmup, LARS trust) and of the
+// synchronous data-parallel engine underneath it.
 //
-//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars -warmup 2
+// # Recipe flags
 //
-// Methods: sgd (baseline), linear (linear scaling + warmup), lars (the
-// paper's LARS + warmup recipe).
+// -method selects the training recipe: sgd (momentum SGD at the base rate,
+// the small-batch baseline), linear (Goyal et al.'s linear scaling +
+// warmup), or lars (the paper's LARS + warmup recipe). -base-lr and
+// -base-batch anchor the linear-scaling rule, -warmup sets the ramp in
+// epochs, -trust the LARS trust coefficient, -wd the weight decay.
+//
+// # Engine flags
+//
+// -workers sets the physical worker (replica) count and -algo the
+// allreduce topology it communicates over: central (parameter-server
+// star), tree (binomial, ⌈log₂P⌉ rounds) or ring (bandwidth-optimal
+// chunked ring).
+//
+// -per-node arranges the workers into a two-tier node hierarchy of that
+// many workers per node (it must divide -workers; 0 keeps the flat
+// topology). Gradients then reduce intra-node first under -intra-algo
+// (default ring), node leaders exchange across the cluster fabric under
+// -algo, and the final report splits the communication counters per fabric
+// tier. The trajectory is bit-identical to the flat run — the hierarchy
+// changes only the schedule and its accounting.
+//
+// -shards fixes the logical gradient shard split, which — not the worker
+// count — determines the numerical result: pin it across runs to get
+// bit-identical trajectories for any -workers. -bucket chunks the gradient
+// into reduction buckets of at most that many float32 coordinates (0 = one
+// bucket). -codec compresses reduction payloads on the wire: fp16 (half
+// precision) or 1bit (Seide et al.'s 1-bit SGD with error feedback).
+// -fault-drop and -fault-stall inject deterministic payload drops and
+// stragglers at the given per-(step,worker) probability; recovery is exact
+// (values unaffected, retries and stalls accounted).
+//
+// # Worked examples
+//
+// The paper's recipe at batch 1024 on 4 workers with ring allreduce,
+// reporting per-epoch loss/accuracy and the communication counters:
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -algo ring
+//
+// The same run on a simulated two-node cluster (2 workers per node, ring
+// inside the node, tree across node leaders), with fp16 wire compression
+// and a 1% straggler rate — the final line adds per-tier message/byte/round
+// counters for the intra and inter fabrics:
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -per-node 2 -intra-algo ring -algo tree \
+//	      -codec fp16 -fault-stall 0.01
 package main
 
 import (
@@ -36,7 +83,9 @@ func main() {
 		trust     = flag.Float64("trust", 0.01, "LARS trust coefficient")
 		wd        = flag.Float64("wd", 0.0005, "weight decay")
 		workers   = flag.Int("workers", 2, "data-parallel workers")
-		algo      = flag.String("algo", "ring", "allreduce topology: central | tree | ring")
+		algo      = flag.String("algo", "ring", "allreduce topology: central | tree | ring (cross-node tier when -per-node is set)")
+		perNode   = flag.Int("per-node", 0, "workers per node for the two-tier hierarchical allreduce (0 = flat; must divide -workers)")
+		intraAlgo = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
 		shards    = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
 		bucket    = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
 		codec     = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
@@ -94,16 +143,30 @@ func main() {
 		log.Fatalf("-shards %d cannot feed -workers %d: need shards >= workers (or 0 for one per worker)", *shards, *workers)
 	}
 
-	var a dist.Algorithm
-	switch *algo {
-	case "central":
-		a = dist.Central
-	case "tree":
-		a = dist.Tree
-	case "ring":
-		a = dist.Ring
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+	parseAlgo := func(name string) dist.Algorithm {
+		switch name {
+		case "central":
+			return dist.Central
+		case "tree":
+			return dist.Tree
+		case "ring":
+			return dist.Ring
+		default:
+			log.Fatalf("unknown algorithm %q", name)
+			panic("unreachable")
+		}
+	}
+	a := parseAlgo(*algo)
+
+	var topology *dist.Hierarchy
+	if *perNode > 0 {
+		if *workers%*perNode != 0 {
+			log.Fatalf("-per-node %d does not divide -workers %d", *perNode, *workers)
+		}
+		topology = &dist.Hierarchy{
+			Nodes: *workers / *perNode, PerNode: *perNode,
+			Intra: parseAlgo(*intraAlgo), Inter: a,
+		}
 	}
 
 	var payloadCodec dist.Codec
@@ -126,6 +189,7 @@ func main() {
 		Model:        factory,
 		Workers:      *workers,
 		Algo:         a,
+		Topology:     topology,
 		Shards:       *shards,
 		Bucket:       *bucket,
 		Codec:        payloadCodec,
@@ -165,6 +229,12 @@ func main() {
 	fmt.Printf("final: acc=%.4f best=%.4f loss=%.4f iters=%d wall=%s comm_msgs=%d comm_bytes=%d comm_rounds=%d retries=%d stalls=%d status=%s\n",
 		res.TestAcc, res.BestAcc, res.FinalLoss, res.Iterations, res.Wall.Round(1e7),
 		res.Comm.Messages, res.Comm.Bytes, res.Comm.Steps, res.Comm.Retries, res.Comm.Stalls, status)
+	if topology != nil {
+		fmt.Printf("tiers: topology=%v intra_msgs=%d intra_bytes=%d intra_rounds=%d inter_msgs=%d inter_bytes=%d inter_rounds=%d\n",
+			*topology,
+			res.TierComm.Intra.Messages, res.TierComm.Intra.Bytes, res.TierComm.Intra.Steps,
+			res.TierComm.Inter.Messages, res.TierComm.Inter.Bytes, res.TierComm.Inter.Steps)
+	}
 	if res.Diverged {
 		os.Exit(2)
 	}

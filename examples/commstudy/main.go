@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/dist"
@@ -100,6 +101,39 @@ func main() {
 			bcast.Messages, float64(bcast.Bytes)/1e6, bcast.Steps,
 			1e3*comm.MellanoxFDR.TimeFromStats(total))
 		e.Close()
+	}
+
+	fmt.Println("\n== Hierarchical allreduce: composing fabrics (8 nodes x 8 workers) ==")
+	// The paper's fastest clusters reduce inside the node on a fast local
+	// fabric before touching the cross-node links. Run the composed
+	// collective for real, cross-check the per-tier counters against the
+	// closed forms, and price flat-vs-hierarchical on NVLink + FDR.
+	{
+		h := dist.NewHierarchy(8, 8)
+		bufs := make([][]float32, h.Workers())
+		r := rng.New(2)
+		for i := range bufs {
+			bufs[i] = make([]float32, weights)
+			for j := range bufs[i] {
+				bufs[i][j] = r.NormFloat32()
+			}
+		}
+		var tiers dist.TierStats
+		dist.HierReduce(h, bufs, &tiers)
+		dist.HierBroadcast(h, bufs, &tiers)
+		model := comm.ExpectedTierStats(h, int64(4*weights))
+		fmt.Printf("  %-12s observed %5d messages %6.2f MB %3d rounds; model says %5d messages %6.2f MB %3d rounds\n",
+			"intra tier", tiers.Intra.Messages, float64(tiers.Intra.Bytes)/1e6, tiers.Intra.Steps,
+			model.Intra.Messages, float64(model.Intra.Bytes)/1e6, model.Intra.Steps)
+		fmt.Printf("  %-12s observed %5d messages %6.2f MB %3d rounds; model says %5d messages %6.2f MB %3d rounds\n",
+			"inter tier", tiers.Inter.Messages, float64(tiers.Inter.Bytes)/1e6, tiers.Inter.Steps,
+			model.Inter.Messages, float64(model.Inter.Bytes)/1e6, model.Inter.Steps)
+		payload := resnet.WeightBytes()
+		flat := comm.MellanoxFDR.AllreduceTime(dist.Ring, h.Workers(), payload)
+		hier := comm.HierarchicalAllreduceTime(cluster.NVLinkHybrid, comm.MellanoxFDR,
+			dist.Hierarchy{Nodes: 8, PerNode: 8, Intra: dist.Ring, Inter: dist.Ring}, payload)
+		fmt.Printf("  one ResNet-50 allreduce over 64 P100s: flat FDR ring %.1f ms, NVLink-intra + FDR-inter ring %.1f ms\n",
+			1e3*flat, 1e3*hier)
 	}
 
 	fmt.Println("\n== Table 12: energy — data movement dwarfs arithmetic ==")

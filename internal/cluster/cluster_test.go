@@ -232,3 +232,67 @@ func TestFiveSecondIdeal(t *testing.T) {
 }
 
 var _ = comm.Table11 // keep the comm import for documentation linkage
+
+// TestHierarchicalEstimate: a hierarchical cluster's schedule must match
+// the closed-form two-tier counters, its aggregate their sum, and its
+// communication time the two-fabric composition.
+func TestHierarchicalEstimate(t *testing.T) {
+	resnet := models.ResNet50Spec()
+	c := DGXPod(4) // 32 P100s: 4 nodes x 8, NVLink ring intra, FDR tree inter
+	est := Simulate(c, resnet, 8192, 90, imagenetSize)
+	h, ok := c.Hierarchy()
+	if !ok {
+		t.Fatal("DGXPod should be hierarchical")
+	}
+	if h.Nodes != 4 || h.PerNode != 8 || h.Intra != dist.Ring || h.Inter != dist.Tree {
+		t.Fatalf("DGXPod hierarchy = %+v", h)
+	}
+	if want := comm.ExpectedTierStats(h, resnet.WeightBytes()); est.TierComm != want {
+		t.Fatalf("TierComm = %+v, want %+v", est.TierComm, want)
+	}
+	if est.Comm != est.TierComm.Total() {
+		t.Fatalf("Comm %+v != TierComm total %+v", est.Comm, est.TierComm.Total())
+	}
+	want := comm.HierarchicalAllreduceTime(c.IntraNetwork, c.Network, h, resnet.WeightBytes())
+	if est.CommSec != want {
+		t.Fatalf("CommSec = %v, want two-fabric price %v", est.CommSec, want)
+	}
+}
+
+// TestHierarchyCheaperThanFlatOnSameFabric: grouping the same devices into
+// NVLink nodes must lower the per-iteration communication versus pushing
+// the flat ring through FDR alone.
+func TestHierarchyCheaperThanFlatOnSameFabric(t *testing.T) {
+	resnet := models.ResNet50Spec()
+	flat := Simulate(P100Cluster(32), resnet, 8192, 90, imagenetSize)
+	pod := DGXPod(4)
+	pod.IntraAlgo, pod.Algo = dist.Ring, dist.Ring
+	hier := Simulate(pod, resnet, 8192, 90, imagenetSize)
+	if hier.CommSec >= flat.CommSec {
+		t.Fatalf("hierarchical comm %.4fs should beat flat FDR ring %.4fs", hier.CommSec, flat.CommSec)
+	}
+	if hier.CompSec != flat.CompSec {
+		t.Fatalf("grouping must not change compute: %v vs %v", hier.CompSec, flat.CompSec)
+	}
+}
+
+// TestFlatClusterHasZeroTierComm: flat estimates leave the tier split empty.
+func TestFlatClusterHasZeroTierComm(t *testing.T) {
+	est := Simulate(P100Cluster(8), models.ResNet50Spec(), 2048, 90, imagenetSize)
+	if est.TierComm != (dist.TierStats{}) {
+		t.Fatalf("flat cluster recorded tier stats %+v", est.TierComm)
+	}
+}
+
+// TestHierarchyIndivisiblePanics: PerNode must divide Count.
+func TestHierarchyIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 10 devices in nodes of 4")
+		}
+	}()
+	c := DGXPod(1)
+	c.Count = 10
+	c.PerNode = 4
+	c.Hierarchy()
+}

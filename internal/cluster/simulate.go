@@ -9,17 +9,49 @@ import (
 	"repro/internal/models"
 )
 
-// Cluster is a homogeneous set of devices joined by one fabric.
+// Cluster is a homogeneous set of devices joined by one fabric — or, when
+// PerNode groups them, by two: a fast intra-node fabric and the cluster
+// fabric across nodes.
 type Cluster struct {
 	Machine Machine
 	Count   int
+	// Network is the cluster fabric: the only fabric when flat, the
+	// inter-node (leader-exchange) fabric when PerNode > 1.
 	Network comm.Network
-	Algo    dist.Algorithm
+	// Algo is the allreduce pattern on Network: the whole collective when
+	// flat, the cross-node leader exchange when PerNode > 1.
+	Algo dist.Algorithm
 	// Overlap models communication/computation overlap (Das et al. 2016;
 	// Goyal et al. 2017): the exposed communication per iteration is the
 	// part not hidden behind the backward pass, approximated as
 	// max(0, t_comm − t_comp/2).
 	Overlap bool
+
+	// PerNode groups the devices into nodes of this size; > 1 prices the
+	// allreduce hierarchically — IntraAlgo over IntraNetwork inside each
+	// node feeding Algo over Network across the node leaders — matching
+	// the two-tier schedule internal/dist executes. It must divide Count.
+	// 0 or 1 keeps the flat single-fabric model.
+	PerNode int
+	// IntraNetwork is the within-node fabric (e.g. NVLink inside a
+	// DGX-1) used when PerNode > 1.
+	IntraNetwork comm.Network
+	// IntraAlgo is the within-node allreduce pattern when PerNode > 1
+	// (Ring is the usual choice on fast local fabrics).
+	IntraAlgo dist.Algorithm
+}
+
+// Hierarchy returns the two-tier layout the cluster prices and true when
+// PerNode groups the devices (PerNode > 1); it panics if PerNode does not
+// divide Count. Flat clusters return false.
+func (c Cluster) Hierarchy() (dist.Hierarchy, bool) {
+	if c.PerNode <= 1 {
+		return dist.Hierarchy{}, false
+	}
+	if c.Count%c.PerNode != 0 {
+		panic(fmt.Sprintf("cluster: %d devices do not fill nodes of %d", c.Count, c.PerNode))
+	}
+	return dist.Hierarchy{Nodes: c.Count / c.PerNode, PerNode: c.PerNode, Intra: c.IntraAlgo, Inter: c.Algo}, true
 }
 
 // Predefined clusters matching the paper's experiments.
@@ -49,6 +81,17 @@ func P100Cluster(n int) Cluster {
 	return Cluster{Machine: TeslaP100, Count: n, Network: comm.MellanoxFDR, Algo: dist.Ring}
 }
 
+// DGXPod is n DGX-1 stations priced hierarchically: a ring over the eight
+// P100s on NVLink inside each chassis, a tree over the station leaders on
+// FDR InfiniBand — the two-tier composition the paper's multi-node GPU
+// systems (and Goyal et al.'s 32x DGX-1 setup) use.
+func DGXPod(n int) Cluster {
+	return Cluster{
+		Machine: TeslaP100, Count: 8 * n, Network: comm.MellanoxFDR, Algo: dist.Tree,
+		PerNode: 8, IntraNetwork: NVLinkHybrid, IntraAlgo: dist.Ring,
+	}
+}
+
 // Estimate is the simulator's output for one training configuration.
 type Estimate struct {
 	Cluster    Cluster
@@ -68,8 +111,13 @@ type Estimate struct {
 	ImagesSec float64 // sustained throughput
 	// Comm is the closed-form schedule of one gradient allreduce under
 	// the cluster's algorithm — the same counters internal/dist records
-	// when executing the exchange for real.
+	// when executing the exchange for real. For hierarchical clusters it
+	// is the aggregate across both tiers, TierComm.Total().
 	Comm dist.CommStats
+	// TierComm splits Comm by fabric tier for hierarchical clusters
+	// (PerNode > 1): intra-node traffic priced on IntraNetwork, inter-node
+	// on Network. Zero for flat clusters.
+	TierComm dist.TierStats
 }
 
 // Duration returns the total time as a time.Duration.
@@ -125,12 +173,19 @@ func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int)
 	if e.MicroBatch > fit {
 		e.MicroBatch = fit // gradient accumulation in micro-batches
 	}
-	e.Comm = comm.ExpectedStats(c.Algo, c.Count, spec.WeightBytes())
+	var rawComm float64
+	if h, ok := c.Hierarchy(); ok {
+		e.TierComm = comm.ExpectedTierStats(h, spec.WeightBytes())
+		e.Comm = e.TierComm.Total()
+		rawComm = comm.HierarchicalAllreduceTime(c.IntraNetwork, c.Network, h, spec.WeightBytes())
+	} else {
+		e.Comm = comm.ExpectedStats(c.Algo, c.Count, spec.WeightBytes())
+		rawComm = c.Network.AllreduceTime(c.Algo, c.Count, spec.WeightBytes())
+	}
 	prof := c.Machine.ProfileFor(spec.Name)
 	eff := prof.Efficiency(float64(e.MicroBatch))
 	flopsPerIter := float64(e.LocalBatch) * float64(spec.TrainFLOPsPerImage())
 	e.CompSec = flopsPerIter / (c.Machine.PeakFLOPS * eff)
-	rawComm := c.Network.AllreduceTime(c.Algo, c.Count, spec.WeightBytes())
 	if c.Overlap {
 		exposed := rawComm - e.CompSec/2
 		if exposed < 0 {

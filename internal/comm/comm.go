@@ -119,6 +119,46 @@ func ExpectedStats(algo dist.Algorithm, p int, payloadBytes int64) dist.CommStat
 	}
 }
 
+// ExpectedTierStats returns the closed-form per-tier schedule of one full
+// hierarchical allreduce (intra-node reduce, inter-node exchange among the
+// node leaders, broadcast back down) of a payloadBytes payload — the
+// analytic twin of the per-tier counters internal/dist records when
+// executing the same composed schedule, cross-checked exactly in tests.
+//
+// Each tier is the closed form of its own flat allreduce: the intra tier
+// is ExpectedStats(h.Intra, h.PerNode, B) with messages and bytes summed
+// over the h.Nodes concurrent per-node groups (latency rounds counted
+// once — the nodes run on disjoint fabrics), and the inter tier is
+// ExpectedStats(h.Inter, h.Nodes, B) among the leaders.
+func ExpectedTierStats(h dist.Hierarchy, payloadBytes int64) dist.TierStats {
+	intra := ExpectedStats(h.Intra, h.PerNode, payloadBytes)
+	intra.Messages *= int64(h.Nodes)
+	intra.Bytes *= int64(h.Nodes)
+	return dist.TierStats{Intra: intra, Inter: ExpectedStats(h.Inter, h.Nodes, payloadBytes)}
+}
+
+// HierarchicalAllreduceTime prices one two-tier allreduce of `bytes`
+// payload: the intra-node phases (reduce on the way up, fan-out on the way
+// down) on the intra fabric, concurrently across nodes, plus the leader
+// exchange on the inter fabric —
+//
+//	T = T_intra(h.Intra, h.PerNode) + T_inter(h.Inter, h.Nodes)
+//
+// with each term the corresponding flat AllreduceTime. This is the
+// composition the paper's fastest clusters exploit: the P-worker flat cost
+// on the slow fabric is replaced by a PerNode-sized cost on the fast local
+// fabric plus an Nodes-sized cost on the slow one.
+func HierarchicalAllreduceTime(intra, inter Network, h dist.Hierarchy, bytes int64) float64 {
+	return intra.AllreduceTime(h.Intra, h.PerNode, bytes) + inter.AllreduceTime(h.Inter, h.Nodes, bytes)
+}
+
+// TimeFromTierStats prices a recorded (or expected) two-tier schedule with
+// each tier on its own fabric, using the same aggregate alpha-beta view as
+// TimeFromStats.
+func TimeFromTierStats(intra, inter Network, t dist.TierStats) float64 {
+	return intra.TimeFromStats(t.Intra) + inter.TimeFromStats(t.Inter)
+}
+
 // TimeFromStats prices a recorded (or expected) schedule on the fabric
 // using the aggregate alpha-beta view: every latency round costs Alpha and
 // every payload byte costs Beta. It complements AllreduceTime, which models

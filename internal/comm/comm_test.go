@@ -185,6 +185,76 @@ func TestExpectedStatsMatchDistCounters(t *testing.T) {
 	}
 }
 
+// TestExpectedTierStatsMatchHierCollectives cross-checks the hierarchical
+// closed forms against the per-tier counters the executing layer records
+// for one composed allreduce, over varied layouts and algorithm pairings.
+func TestExpectedTierStatsMatchHierCollectives(t *testing.T) {
+	layouts := []dist.Hierarchy{
+		dist.NewHierarchy(2, 2),
+		dist.NewHierarchy(2, 4),
+		dist.NewHierarchy(4, 2),
+		dist.NewHierarchy(3, 2),
+		{Nodes: 2, PerNode: 3, Intra: dist.Central, Inter: dist.Ring},
+		{Nodes: 4, PerNode: 1, Intra: dist.Ring, Inter: dist.Tree},
+		{Nodes: 1, PerNode: 4, Intra: dist.Ring, Inter: dist.Tree},
+	}
+	const n = 60
+	for _, h := range layouts {
+		bufs := make([][]float32, h.Workers())
+		for i := range bufs {
+			bufs[i] = make([]float32, n)
+		}
+		var tiers dist.TierStats
+		dist.HierReduce(h, bufs, &tiers)
+		dist.HierBroadcast(h, bufs, &tiers)
+		if want := ExpectedTierStats(h, 4*n); tiers != want {
+			t.Errorf("%v: dist recorded %+v, model says %+v", h, tiers, want)
+		}
+	}
+}
+
+// TestHierarchicalAllreduceTimeComposes pins the two-fabric price to the
+// sum of its per-tier flat prices.
+func TestHierarchicalAllreduceTimeComposes(t *testing.T) {
+	h := dist.NewHierarchy(8, 4)
+	const bytes = 10 << 20
+	got := HierarchicalAllreduceTime(MellanoxFDR, Intel10GbE, h, bytes)
+	want := MellanoxFDR.AllreduceTime(dist.Ring, 4, bytes) + Intel10GbE.AllreduceTime(dist.Tree, 8, bytes)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("HierarchicalAllreduceTime = %v, want %v", got, want)
+	}
+}
+
+// TestHierarchyBeatsFlatOnSlowInterFabric is the paper's motivation for
+// composing fabrics: 64 workers as 8 nodes of 8 on a fast local fabric
+// (NVLink-like) plus a slow cluster fabric must out-price the flat 64-way
+// ring that pushes every round through the slow fabric, in both the
+// latency-bound (small payload) and bandwidth-bound (large payload) regimes.
+func TestHierarchyBeatsFlatOnSlowInterFabric(t *testing.T) {
+	nvlink := Network{Name: "NVLink-like", Alpha: 5.0e-6, Beta: 0.0125e-9}
+	h := dist.Hierarchy{Nodes: 8, PerNode: 8, Intra: dist.Ring, Inter: dist.Ring}
+	for _, bytes := range []int64{1 << 10, 100 << 20} {
+		flat := Intel10GbE.AllreduceTime(dist.Ring, 64, bytes)
+		hier := HierarchicalAllreduceTime(nvlink, Intel10GbE, h, bytes)
+		if hier >= flat {
+			t.Errorf("bytes=%d: hierarchical %v should beat flat %v on the slow fabric", bytes, hier, flat)
+		}
+	}
+}
+
+// TestTimeFromTierStatsPricesPerFabric: each tier must be priced on its own
+// alpha-beta profile.
+func TestTimeFromTierStatsPricesPerFabric(t *testing.T) {
+	ts := dist.TierStats{
+		Intra: dist.CommStats{Steps: 4, Bytes: 1 << 20},
+		Inter: dist.CommStats{Steps: 6, Bytes: 2 << 20},
+	}
+	want := MellanoxFDR.TimeFromStats(ts.Intra) + Intel10GbE.TimeFromStats(ts.Inter)
+	if got := TimeFromTierStats(MellanoxFDR, Intel10GbE, ts); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("TimeFromTierStats = %v, want %v", got, want)
+	}
+}
+
 // TestTimeFromStatsPricesSchedule pins the aggregate alpha-beta pricing.
 func TestTimeFromStatsPricesSchedule(t *testing.T) {
 	s := dist.CommStats{Steps: 10, Bytes: 1 << 20}

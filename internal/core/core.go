@@ -68,6 +68,15 @@ type Config struct {
 	Workers int            // data-parallel worker count (default 1)
 	Algo    dist.Algorithm // gradient reduction pattern (default Central)
 
+	// Topology optionally arranges the workers into a two-tier node
+	// hierarchy (dist.Hierarchy): gradients reduce intra-node first, node
+	// leaders exchange across the cluster fabric, and Result.TierComm
+	// reports the schedule split by fabric tier. Topology.Workers() must
+	// equal Workers; Algo is ignored when set. The trajectory is
+	// bit-identical to a flat run with the same Shards — the hierarchy
+	// changes only the communication accounting.
+	Topology *dist.Hierarchy
+
 	// Shards is the number of logical gradient shards per global batch
 	// (default Workers). The shard split — not the worker count — fixes
 	// the numerical result: runs with equal Shards are bit-identical for
@@ -188,6 +197,9 @@ type Result struct {
 	Iterations int64
 	Wall       time.Duration
 	Comm       dist.CommStats
+	// TierComm splits Comm by fabric tier when Config.Topology arranged
+	// the workers hierarchically; zero for flat runs.
+	TierComm dist.TierStats
 }
 
 // Train runs the configured recipe on the dataset and returns the result.
@@ -206,7 +218,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		replicas[i] = cfg.Model(cfg.Seed + uint64(i)*7919)
 	}
 	engine := dist.NewEngine(dist.Config{
-		Algo: cfg.Algo, Shards: cfg.Shards, BucketElems: cfg.Bucket,
+		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
 		Codec: cfg.Codec, Faults: cfg.Faults,
 	}, replicas)
 	defer engine.Close()
@@ -331,6 +343,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	}
 	res.Iterations = engine.Steps()
 	res.Comm = engine.Stats()
+	res.TierComm = engine.TierStats()
 	res.Wall = time.Since(start)
 	return res, nil
 }

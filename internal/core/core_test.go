@@ -308,3 +308,50 @@ func TestLARSHoldsAccuracyAtLargeBatch(t *testing.T) {
 		t.Errorf("LARS accuracy %.3f should stay near the baseline (~1.0)", rres.TestAcc)
 	}
 }
+
+// TestHierarchyTrajectoryBitIdenticalToFlat is the PR's acceptance
+// criterion at the trainer level: a run over a two-tier Hierarchy topology
+// reproduces the flat-topology loss trajectory bit-for-bit (same shard
+// split), while Result.TierComm records a two-tier schedule whose aggregate
+// equals Result.Comm.
+func TestHierarchyTrajectoryBitIdenticalToFlat(t *testing.T) {
+	ds := tinyDataset()
+	run := func(topology *dist.Hierarchy) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: 4, Shards: 4,
+			Algo: dist.Ring, Topology: topology,
+			Batch: 64, Epochs: 3, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	h := dist.NewHierarchy(2, 2)
+	flat, hier := run(nil), run(&h)
+	if len(flat.History) != len(hier.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(flat.History), len(hier.History))
+	}
+	for e := range flat.History {
+		a, b := flat.History[e], hier.History[e]
+		if a.TrainLoss != b.TrainLoss {
+			t.Fatalf("epoch %d: hierarchical loss %v differs bitwise from flat %v", e, b.TrainLoss, a.TrainLoss)
+		}
+		if a.TestAcc != b.TestAcc && !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) {
+			t.Fatalf("epoch %d: hierarchical acc %v differs from flat %v", e, b.TestAcc, a.TestAcc)
+		}
+	}
+	if flat.FinalLoss != hier.FinalLoss || flat.TestAcc != hier.TestAcc {
+		t.Fatalf("final results differ: (%v,%v) vs (%v,%v)", flat.FinalLoss, flat.TestAcc, hier.FinalLoss, hier.TestAcc)
+	}
+	if flat.TierComm != (dist.TierStats{}) {
+		t.Fatalf("flat run recorded tier stats %+v", flat.TierComm)
+	}
+	if hier.TierComm.Total() != hier.Comm {
+		t.Fatalf("tier total %+v != aggregate %+v", hier.TierComm.Total(), hier.Comm)
+	}
+	if hier.TierComm.Intra.Messages == 0 || hier.TierComm.Inter.Messages == 0 {
+		t.Fatalf("both tiers should carry traffic: %+v", hier.TierComm)
+	}
+}

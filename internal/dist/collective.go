@@ -22,16 +22,7 @@ func Reduce(algo Algorithm, bufs [][]float32, stats *CommStats) {
 	}
 	n := checkUniform("Reduce", bufs)
 	if p > 1 {
-		root := bufs[0]
-		par.ForGrain(n, 2048, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				acc := float64(root[i])
-				for w := 1; w < p; w++ {
-					acc += float64(bufs[w][i])
-				}
-				root[i] = float32(acc)
-			}
-		})
+		canonicalSum(bufs)
 		if algo == Ring {
 			fanOut(bufs)
 		}
@@ -57,6 +48,24 @@ func Broadcast(algo Algorithm, bufs [][]float32, stats *CommStats) {
 	if stats != nil {
 		stats.Add(broadcastSchedule(algo, p, 4*int64(n)))
 	}
+}
+
+// canonicalSum computes the element-wise sum of all buffers into bufs[0] in
+// canonical worker order with float64 accumulation — the one reduction
+// arithmetic every topology (flat or hierarchical) shares, which is what
+// makes topology choice a pure accounting decision.
+func canonicalSum(bufs [][]float32) {
+	root := bufs[0]
+	p := len(bufs)
+	par.ForGrain(len(root), 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := float64(root[i])
+			for w := 1; w < p; w++ {
+				acc += float64(bufs[w][i])
+			}
+			root[i] = float32(acc)
+		}
+	})
 }
 
 // fanOut copies bufs[0] into every other buffer, parallelized over workers.

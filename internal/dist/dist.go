@@ -9,6 +9,14 @@
 //     per-topology accounting of messages, payload bytes and latency rounds
 //     in CommStats, cross-checked against internal/comm's closed forms;
 //
+//   - a composed two-tier collective (Hierarchy, HierReduce and
+//     HierBroadcast): workers arranged into nodes reduce intra-node first
+//     (default ring), node leaders exchange across the cluster fabric
+//     (default tree), and the result fans back down — the KNL/Skylake
+//     fabric split of the paper's fastest runs, with the schedule
+//     accounted per tier (TierStats) so each fabric is priced on its own
+//     alpha-beta profile;
+//
 //   - an Engine that drives W persistent worker goroutines in lockstep over
 //     per-worker batch shards: forward/backward on each worker's replica,
 //     gradient averaging through the selected topology, weight broadcast,
@@ -24,9 +32,10 @@
 // canonical shard order with a float64 accumulator, and separately accounts
 // the message schedule of the selected topology. Consequences, all tested:
 //
-//   - the three algorithms produce bitwise-identical reductions (real
-//     collectives do not have this property; a reproduction harness wants
-//     it, so topology choice is a pure cost/accounting decision);
+//   - the three algorithms — and any two-tier Hierarchy composed from
+//     them — produce bitwise-identical reductions (real collectives do not
+//     have this property; a reproduction harness wants it, so topology
+//     choice is a pure cost/accounting decision);
 //
 //   - the numerical result depends only on Config.Shards — the logical
 //     batch split — never on the physical worker count, so a Workers=4 run

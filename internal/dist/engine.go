@@ -13,8 +13,18 @@ import (
 // Config configures an Engine.
 type Config struct {
 	// Algo selects the allreduce topology (default Central, the zero
-	// value; Ring is what the paper's large systems use).
+	// value; Ring is what the paper's large systems use). Ignored when
+	// Topology is set.
 	Algo Algorithm
+	// Topology optionally arranges the workers into a two-tier node
+	// hierarchy: reductions then run intra-node first, feeding a
+	// cross-node exchange among node leaders, and the schedule is
+	// accounted per fabric tier (Engine.TierStats) as well as in the
+	// aggregate counters. Topology.Workers() must equal the replica
+	// count. nil keeps the flat single-fabric Algo schedule. Values are
+	// unaffected either way — hierarchical runs are bit-identical to flat
+	// ones with the same shard split.
+	Topology *Hierarchy
 	// Shards is the number of logical gradient shards each global batch
 	// is split into; 0 means one per worker. The shard split — not the
 	// worker count — determines the numerical result: two engines with
@@ -58,11 +68,13 @@ type Engine struct {
 	losses []float64   // per logical shard: mean loss over the shard
 	evalOK []int       // per worker: correct predictions of the last eval
 
-	reduced  []float32 // scratch: canonically reduced flat gradient
-	steps    int64
-	stats    CommStats
-	lastStep CommStats
-	closed   bool
+	reduced   []float32 // scratch: canonically reduced flat gradient
+	steps     int64
+	stats     CommStats
+	lastStep  CommStats
+	tiers     TierStats // per-fabric split of stats (hierarchical runs only)
+	lastTiers TierStats // per-fabric split of lastStep
+	closed    bool
 }
 
 type jobKind int
@@ -95,6 +107,12 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	}
 	if cfg.Shards < len(replicas) {
 		panic(fmt.Sprintf("dist: %d shards cannot feed %d workers", cfg.Shards, len(replicas)))
+	}
+	if h := cfg.Topology; h != nil {
+		h.validate()
+		if h.Workers() != len(replicas) {
+			panic(fmt.Sprintf("dist: %v hierarchy needs %d workers, engine has %d replicas", *h, h.Workers(), len(replicas)))
+		}
 	}
 	e := &Engine{
 		cfg:      cfg,
@@ -165,6 +183,15 @@ func (e *Engine) Stats() CommStats { return e.stats }
 // (ComputeGradient plus any BroadcastWeights since).
 func (e *Engine) StepStats() CommStats { return e.lastStep }
 
+// TierStats returns the cumulative counters split by fabric tier. It is
+// zero unless Config.Topology arranged the workers hierarchically, in which
+// case TierStats().Total() equals Stats().
+func (e *Engine) TierStats() TierStats { return e.tiers }
+
+// StepTierStats returns the per-tier counters of the most recent training
+// step, the hierarchical split of StepStats.
+func (e *Engine) StepTierStats() TierStats { return e.lastTiers }
+
 // Close shuts down the worker goroutines. The engine must not be used
 // afterwards; Close is idempotent.
 func (e *Engine) Close() {
@@ -182,6 +209,35 @@ func (e *Engine) Close() {
 func (e *Engine) record(s CommStats) {
 	e.stats.Add(s)
 	e.lastStep.Add(s)
+}
+
+// recordTiers accounts a per-tier schedule into the tier counters and its
+// aggregate into the flat counters, keeping Stats() == TierStats().Total()
+// for hierarchical runs.
+func (e *Engine) recordTiers(t TierStats) {
+	e.tiers.Add(t)
+	e.lastTiers.Add(t)
+	e.record(t.Total())
+}
+
+// recordReduce accounts one gradient-reduction schedule of a payloadBytes
+// bucket, per tier when the engine is hierarchical.
+func (e *Engine) recordReduce(payloadBytes int64) {
+	if h := e.cfg.Topology; h != nil {
+		e.recordTiers(hierReduceSchedule(*h, payloadBytes))
+		return
+	}
+	e.record(reduceSchedule(e.cfg.Algo, len(e.replicas), payloadBytes))
+}
+
+// recordBroadcast accounts one weight-broadcast schedule of a payloadBytes
+// bucket, per tier when the engine is hierarchical.
+func (e *Engine) recordBroadcast(payloadBytes int64) {
+	if h := e.cfg.Topology; h != nil {
+		e.recordTiers(hierBroadcastSchedule(*h, payloadBytes))
+		return
+	}
+	e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), payloadBytes))
 }
 
 // worker is the lockstep loop of one persistent worker goroutine.
@@ -293,6 +349,7 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	}
 	spans := data.Spans(b, e.cfg.Shards)
 	e.lastStep = CommStats{}
+	e.lastTiers = TierStats{}
 	if err := e.dispatch(func(w int) job {
 		return job{kind: jobGrad, x: x, labels: labels, spans: spans, slots: e.ownedSlots(w)}
 	}); err != nil {
@@ -363,7 +420,7 @@ func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
 			payload = total / int64(len(live))
 		}
 		payloads[bi] = payload
-		e.record(reduceSchedule(e.cfg.Algo, len(e.replicas), payload))
+		e.recordReduce(payload)
 	}
 	par.ForGrain(e.nparams, 2048, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -385,7 +442,9 @@ func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
 // injectFaults rolls the fault plan for the current step and accounts the
 // recovery traffic: a dropped worker payload is re-requested and resent
 // (Retries plus that worker's sender share of every bucket), a straggler
-// holds the barrier for one round (Stalls). Values are never affected —
+// holds the barrier for one round (Stalls). Under a hierarchical topology
+// the recovery traffic lands on the tier the worker sends on — intra for
+// node members, inter for node leaders. Values are never affected —
 // recovery is exact, which is what keeps faulty runs bit-identical to
 // clean ones.
 func (e *Engine) injectFaults(payloads []int64) {
@@ -393,20 +452,44 @@ func (e *Engine) injectFaults(payloads []int64) {
 	if !f.enabled() || len(e.replicas) == 1 {
 		return
 	}
+	h := e.cfg.Topology
 	for w := range e.replicas {
 		drop, stall := f.roll(e.steps, w)
 		if drop {
-			var st CommStats
-			st.Retries = 1
-			for _, payload := range payloads {
-				msgs, bytes := senderShare(e.cfg.Algo, len(e.replicas), payload)
-				st.Messages += msgs
-				st.Bytes += bytes
+			if h != nil {
+				var t TierStats
+				for _, payload := range payloads {
+					t.Add(hierSenderShare(*h, w, payload))
+				}
+				if lead, _ := h.leader(w); lead {
+					t.Inter.Retries = 1
+				} else {
+					t.Intra.Retries = 1
+				}
+				e.recordTiers(t)
+			} else {
+				var st CommStats
+				st.Retries = 1
+				for _, payload := range payloads {
+					msgs, bytes := senderShare(e.cfg.Algo, len(e.replicas), payload)
+					st.Messages += msgs
+					st.Bytes += bytes
+				}
+				e.record(st)
 			}
-			e.record(st)
 		}
 		if stall {
-			e.record(CommStats{Stalls: 1})
+			if h != nil {
+				var t TierStats
+				if lead, _ := h.leader(w); lead {
+					t.Inter.Stalls = 1
+				} else {
+					t.Intra.Stalls = 1
+				}
+				e.recordTiers(t)
+			} else {
+				e.record(CommStats{Stalls: 1})
+			}
 		}
 	}
 }
@@ -419,7 +502,7 @@ func (e *Engine) BroadcastWeights() {
 		panic(err) // CopyWeightsFrom only fails on architecture drift
 	}
 	for _, bucket := range e.buckets {
-		e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), 4*int64(bucket[1]-bucket[0])))
+		e.recordBroadcast(4 * int64(bucket[1]-bucket[0]))
 	}
 }
 

@@ -1,0 +1,179 @@
+package dist
+
+import "fmt"
+
+// Hierarchy arranges the workers into a two-tier node topology: Nodes
+// machines of PerNode workers each, laid out node-major (worker w lives on
+// node w/PerNode; the node's first worker, w%PerNode == 0, is its leader).
+// A hierarchical allreduce then composes two fabrics, the structure the
+// paper's fastest runs exploit (reductions inside a KNL or Skylake node are
+// cheap; the cross-node links are the bottleneck) and the one Akiba et al.
+// 2017 make explicit:
+//
+//   - gradient reduction: every node reduces intra-node under Intra (all
+//     nodes concurrently, each on its own local fabric), then the node
+//     leaders exchange the node sums under Inter across the cluster fabric;
+//
+//   - weight broadcast: the root sends to the node leaders under Inter,
+//     then every leader fans out intra-node under Intra, again with all
+//     nodes concurrent.
+//
+// Per the package's reproducibility contract the hierarchy is pure
+// schedule: reduced values stay canonical (float64 accumulation in shard
+// order), so a hierarchical run is bit-identical to a flat run with the
+// same shard split. What changes is the accounting — TierStats splits the
+// schedule into the intra and inter fabrics so each tier can be priced on
+// its own alpha-beta profile (comm.ExpectedTierStats is the closed-form
+// twin, comm.HierarchicalAllreduceTime the two-fabric price).
+type Hierarchy struct {
+	// Nodes is the node count — the size of the inter tier.
+	Nodes int
+	// PerNode is the worker count per node — the size of each intra tier.
+	PerNode int
+	// Intra is the within-node algorithm (NewHierarchy defaults it to
+	// Ring, the bandwidth-optimal choice for fast local fabrics).
+	Intra Algorithm
+	// Inter is the cross-node algorithm run by the node leaders
+	// (NewHierarchy defaults it to Tree, the latency-friendly choice for
+	// the slower cluster fabric).
+	Inter Algorithm
+}
+
+// NewHierarchy returns the default two-tier composition over nodes×perNode
+// workers: ring inside each node, tree across node leaders.
+func NewHierarchy(nodes, perNode int) Hierarchy {
+	return Hierarchy{Nodes: nodes, PerNode: perNode, Intra: Ring, Inter: Tree}
+}
+
+// Workers returns the total worker count, Nodes·PerNode.
+func (h Hierarchy) Workers() int { return h.Nodes * h.PerNode }
+
+// String renders the layout as "NxM intra/inter", e.g. "2x4 ring/tree".
+func (h Hierarchy) String() string {
+	return fmt.Sprintf("%dx%d %s/%s", h.Nodes, h.PerNode, h.Intra, h.Inter)
+}
+
+// validate panics unless the layout is well-formed.
+func (h Hierarchy) validate() {
+	if h.Nodes < 1 || h.PerNode < 1 {
+		panic(fmt.Sprintf("dist: invalid hierarchy %dx%d: need at least one node and one worker per node", h.Nodes, h.PerNode))
+	}
+}
+
+// leader reports whether worker w is its node's leader, and w's node index.
+func (h Hierarchy) leader(w int) (bool, int) {
+	return w%h.PerNode == 0, w / h.PerNode
+}
+
+// TierStats splits a hierarchical schedule's counters by fabric tier, so
+// intra-node traffic (cheap, concurrent across nodes) and inter-node
+// traffic (the scaling bottleneck) can each be priced on their own
+// alpha-beta profile. Total recovers the flat aggregate view.
+type TierStats struct {
+	// Intra is the within-node traffic, summed over all nodes; its Steps
+	// count each wave of concurrent per-node rounds once.
+	Intra CommStats
+	// Inter is the cross-node traffic among the node leaders.
+	Inter CommStats
+}
+
+// Add accumulates o into t, tier by tier.
+func (t *TierStats) Add(o TierStats) {
+	t.Intra.Add(o.Intra)
+	t.Inter.Add(o.Inter)
+}
+
+// Total returns the aggregate schedule across both tiers — the flat
+// CommStats view of the same traffic.
+func (t TierStats) Total() CommStats {
+	total := t.Intra
+	total.Add(t.Inter)
+	return total
+}
+
+// hierReduceSchedule returns the per-tier schedule of one hierarchical
+// gradient reduction: Nodes concurrent intra-node reductions (messages and
+// bytes sum over nodes; latency rounds are counted once, the nodes being
+// concurrent on disjoint fabrics) feeding one inter-node reduction among
+// the node leaders.
+func hierReduceSchedule(h Hierarchy, payloadBytes int64) TierStats {
+	intra := reduceSchedule(h.Intra, h.PerNode, payloadBytes)
+	intra.Messages *= int64(h.Nodes)
+	intra.Bytes *= int64(h.Nodes)
+	return TierStats{Intra: intra, Inter: reduceSchedule(h.Inter, h.Nodes, payloadBytes)}
+}
+
+// hierBroadcastSchedule returns the per-tier schedule of one hierarchical
+// broadcast: root to node leaders on the inter fabric, then every leader
+// fanning out within its node concurrently on the intra fabrics.
+func hierBroadcastSchedule(h Hierarchy, payloadBytes int64) TierStats {
+	intra := broadcastSchedule(h.Intra, h.PerNode, payloadBytes)
+	intra.Messages *= int64(h.Nodes)
+	intra.Bytes *= int64(h.Nodes)
+	return TierStats{Intra: intra, Inter: broadcastSchedule(h.Inter, h.Nodes, payloadBytes)}
+}
+
+// hierSenderShare returns the tier-attributed resend traffic of worker w's
+// dropped reduction payload: a non-leader re-sends on its node's intra
+// fabric, a node leader re-sends its node sum on the inter fabric. The
+// caller accounts the Retries event itself, once per drop.
+func hierSenderShare(h Hierarchy, w int, payloadBytes int64) TierStats {
+	var t TierStats
+	if lead, _ := h.leader(w); lead {
+		msgs, bytes := senderShare(h.Inter, h.Nodes, payloadBytes)
+		t.Inter = CommStats{Messages: msgs, Bytes: bytes}
+	} else {
+		msgs, bytes := senderShare(h.Intra, h.PerNode, payloadBytes)
+		t.Intra = CommStats{Messages: msgs, Bytes: bytes}
+	}
+	return t
+}
+
+// HierReduce performs the gradient-sum phase of one hierarchical allreduce
+// over len(bufs) == h.Workers() equal-length buffers: the canonical sum of
+// all buffers lands in bufs[0] (the global root — node 0's leader). When
+// Inter is Ring, whose leader exchange leaves the sum on every leader, all
+// node leaders receive it. The executed schedule is accounted per tier into
+// tiers when non-nil.
+//
+// The sum is computed exactly as the flat Reduce computes it — canonical
+// worker order, float64 accumulation — so hierarchical and flat reductions
+// are bitwise identical; only the accounted schedule differs.
+func HierReduce(h Hierarchy, bufs [][]float32, tiers *TierStats) {
+	h.validate()
+	if len(bufs) != h.Workers() {
+		panic(fmt.Sprintf("dist: HierReduce: %d buffers for a %dx%d hierarchy", len(bufs), h.Nodes, h.PerNode))
+	}
+	n := checkUniform("HierReduce", bufs)
+	if len(bufs) > 1 {
+		canonicalSum(bufs)
+		if h.Inter == Ring {
+			// The leader ring's reduce-scatter + allgather leaves the sum
+			// on every node leader, mirroring flat Ring's placement.
+			for node := 1; node < h.Nodes; node++ {
+				copy(bufs[node*h.PerNode], bufs[0])
+			}
+		}
+	}
+	if tiers != nil {
+		tiers.Add(hierReduceSchedule(h, 4*int64(n)))
+	}
+}
+
+// HierBroadcast distributes bufs[0] (the global root's buffer) to every
+// worker through the two-tier fan-out — inter-node to the leaders, then
+// intra-node — accounting the schedule per tier into tiers when non-nil.
+// Paired with HierReduce it completes one hierarchical allreduce.
+func HierBroadcast(h Hierarchy, bufs [][]float32, tiers *TierStats) {
+	h.validate()
+	if len(bufs) != h.Workers() {
+		panic(fmt.Sprintf("dist: HierBroadcast: %d buffers for a %dx%d hierarchy", len(bufs), h.Nodes, h.PerNode))
+	}
+	n := checkUniform("HierBroadcast", bufs)
+	if len(bufs) > 1 {
+		fanOut(bufs)
+	}
+	if tiers != nil {
+		tiers.Add(hierBroadcastSchedule(h, 4*int64(n)))
+	}
+}

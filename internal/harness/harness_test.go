@@ -33,15 +33,19 @@ func TestTableRendering(t *testing.T) {
 }
 
 // TestAllreduceStudyMechanics drives the engine-backed exhibit at test
-// scale: one row per topology, and the observed message column must equal
-// the closed-form model column (they share the table).
+// scale: one row per flat topology plus the two-tier hierarchical split
+// (intra, inter, total), and the observed message/round columns must equal
+// the closed-form model columns (they share the table).
 func TestAllreduceStudyMechanics(t *testing.T) {
 	tbl, err := AllreduceStudy(fastSetup(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 3 {
-		t.Fatalf("%d rows, want one per topology", len(tbl.Rows))
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("%d rows, want 3 flat topologies + 3 hierarchical (intra/inter/total)", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "2x2 ring/tree intra" || tbl.Rows[4][0] != "2x2 ring/tree inter" {
+		t.Fatalf("hierarchical rows mislabelled: %q, %q", tbl.Rows[3][0], tbl.Rows[4][0])
 	}
 	for _, row := range tbl.Rows {
 		if row[1] != row[4] {

@@ -12,9 +12,11 @@
 //	internal/opt        SGD(+Nesterov), LARS(+LARC), poly/warmup/cosine
 //	internal/dist       synchronous data-parallel engine: lockstep goroutine
 //	                    workers, central/tree/ring allreduce with exact
-//	                    message/byte/round accounting, gradient bucketing,
-//	                    1-bit/FP16 payload codecs, deterministic fault
-//	                    injection with exact recovery
+//	                    message/byte/round accounting, two-tier hierarchical
+//	                    (intra-node + inter-node) composition with per-tier
+//	                    accounting, gradient bucketing, 1-bit/FP16 payload
+//	                    codecs, deterministic fault injection with exact
+//	                    recovery
 //	internal/comm       alpha-beta cost model, energy model
 //	internal/cluster    calibrated machine profiles + time simulator
 //	internal/core       the large-batch Trainer (the paper's recipe)
@@ -180,6 +182,11 @@ type (
 	// CommStats counts messages/bytes/latency rounds moved, plus
 	// fault-recovery retries and stalls.
 	CommStats = dist.CommStats
+	// Hierarchy arranges workers into a two-tier node topology: intra-node
+	// reduction feeding an inter-node exchange among node leaders.
+	Hierarchy = dist.Hierarchy
+	// TierStats splits a hierarchical schedule's counters by fabric tier.
+	TierStats = dist.TierStats
 	// FaultPlan injects deterministic drops/stalls into the engine's
 	// reduction schedule; recovery is exact.
 	FaultPlan = dist.FaultPlan
@@ -198,6 +205,19 @@ func NewOneBitCodec() *dist.OneBitCodec { return dist.NewOneBitCodec() }
 func Allreduce(algo Algorithm, bufs [][]float32, stats *CommStats) {
 	dist.Reduce(algo, bufs, stats)
 	dist.Broadcast(algo, bufs, stats)
+}
+
+// NewHierarchy returns the default two-tier worker layout over
+// nodes×perNode workers: ring inside each node, tree across node leaders.
+func NewHierarchy(nodes, perNode int) Hierarchy { return dist.NewHierarchy(nodes, perNode) }
+
+// HierAllreduce runs one hierarchical reduction + broadcast over the
+// workers' buffers (len(bufs) == h.Workers()), accumulating the executed
+// schedule per fabric tier into tiers. Values are bit-identical to the flat
+// Allreduce; only the accounted schedule differs.
+func HierAllreduce(h Hierarchy, bufs [][]float32, tiers *TierStats) {
+	dist.HierReduce(h, bufs, tiers)
+	dist.HierBroadcast(h, bufs, tiers)
 }
 
 // Allreduce algorithms.
@@ -241,6 +261,10 @@ func Simulate(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int) 
 
 // DGX1 returns one 8xP100 DGX-1 station.
 func DGX1() ClusterConfig { return cluster.DGX1() }
+
+// DGXPod returns n DGX-1 stations priced hierarchically: NVLink ring
+// inside each chassis, FDR InfiniBand tree across station leaders.
+func DGXPod(n int) ClusterConfig { return cluster.DGXPod(n) }
 
 // KNLCluster returns n KNL nodes on Omni-Path.
 func KNLCluster(n int) ClusterConfig { return cluster.KNLCluster(n) }
