@@ -216,6 +216,8 @@ func BenchmarkTrainStep(b *testing.B) {
 			b.Fatal(err)
 		}
 		o.Step(0.05)
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -7,6 +7,14 @@
 // sustained throughput and total wall-clock, and can sweep node counts to
 // show the scaling curve (-sweep).
 //
+// -overlap prices communication/computation overlap at bucket granularity:
+// the gradient is split into -overlap-buckets buckets, each ready at its
+// share of the backward pass (tail of the network first), and the bucket
+// allreduces pipeline against the remaining backward — on hierarchical
+// clusters with the inter exchange of bucket k overlapping the intra reduce
+// of bucket k+1. The report then adds a per-bucket exposed/hidden timeline
+// and the hidden/exposed split of the iteration's communication.
+//
 // -per-node groups the devices into nodes of that size and prices the
 // allreduce hierarchically: -intra-algo over the -intra-network fabric
 // inside each node, feeding -algo over -network across the node leaders,
@@ -42,7 +50,8 @@ func main() {
 		batch    = flag.Int("batch", 32768, "global batch size")
 		epochs   = flag.Int("epochs", 90, "epoch budget")
 		dataset  = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
-		overlap  = flag.Bool("overlap", false, "overlap communication with computation")
+		overlap  = flag.Bool("overlap", false, "overlap bucket allreduces with the backward pass (bucket-level pipeline model)")
+		obuckets = flag.Int("overlap-buckets", 0, "gradient buckets for the overlap pipeline (0 = default 16)")
 		sweep    = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
 		perNode  = flag.Int("per-node", 0, "devices per node for two-tier hierarchical pricing (0 = flat; must divide -nodes)")
 		intraNet = flag.String("intra-network", "nvlink", "within-node fabric when -per-node is set: fdr | qdr | 10gbe | opa | nvlink")
@@ -112,7 +121,7 @@ func main() {
 	a := parseAlgo(*algo)
 
 	run := func(n int) cluster.Estimate {
-		c := cluster.Cluster{Machine: m, Count: n, Network: net, Algo: a, Overlap: *overlap}
+		c := cluster.Cluster{Machine: m, Count: n, Network: net, Algo: a, Overlap: *overlap, OverlapBuckets: *obuckets}
 		if *perNode > 0 {
 			if n%*perNode != 0 {
 				log.Fatalf("-per-node %d does not divide %d devices", *perNode, n)
@@ -159,6 +168,20 @@ func main() {
 			e.TierComm.Intra.Messages, float64(e.TierComm.Intra.Bytes)/1e6, e.TierComm.Intra.Steps)
 		fmt.Printf("  inter tier: %d messages, %.1f MB, %d rounds (node leaders)\n",
 			e.TierComm.Inter.Messages, float64(e.TierComm.Inter.Bytes)/1e6, e.TierComm.Inter.Steps)
+	}
+	if *overlap {
+		fmt.Printf("overlap:     backward window %.4fs, comm %.4fs hidden + %.4fs exposed over %d buckets\n",
+			e.BackwardSec, e.HiddenCommSec, e.CommSec, len(e.Buckets))
+		fmt.Printf("  %-8s %-10s %-10s %-10s %-10s %s\n", "bucket", "MB", "ready", "start", "done", "exposure")
+		for j := len(e.Buckets) - 1; j >= 0; j-- { // pipeline order: tail of the gradient first
+			b := e.Buckets[j]
+			status := "hidden"
+			if !b.Hidden {
+				status = fmt.Sprintf("exposed %.4fs", b.DoneSec-e.BackwardSec)
+			}
+			fmt.Printf("  %-8d %-10.2f %-10.4f %-10.4f %-10.4f %s\n",
+				j, float64(b.Bytes)/1e6, b.ReadySec, b.StartSec, b.DoneSec, status)
+		}
 	}
 	fmt.Printf("throughput:  %.0f images/sec\n", e.ImagesSec)
 	fmt.Printf("total:       %s\n", e.Duration().Round(1e9))

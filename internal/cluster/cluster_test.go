@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/comm"
@@ -137,6 +138,110 @@ func TestLargeBatchReducesCommunication(t *testing.T) {
 	largeCommTotal := large.CommSec * float64(large.Iterations)
 	if largeCommTotal >= smallCommTotal {
 		t.Errorf("large batch communicated more: %.0fs vs %.0fs", largeCommTotal, smallCommTotal)
+	}
+}
+
+// TestLocalBatchPricesLargestShard pins the local-batch fix: when the
+// global batch does not divide the device count, the busiest device holds
+// ceil(batch/Count) images and sets the lockstep iteration time —
+// truncation was silently dropping batch mod Count samples and overstating
+// throughput.
+func TestLocalBatchPricesLargestShard(t *testing.T) {
+	resnet := models.ResNet50Spec()
+	c := KNLCluster(8)
+	est := Simulate(c, resnet, 100, 90, imagenetSize) // 100/8 = 12.5 -> 13
+	if est.LocalBatch != 13 {
+		t.Fatalf("LocalBatch = %d, want ceil(100/8) = 13", est.LocalBatch)
+	}
+	if est.MicroBatch != 13 {
+		t.Fatalf("MicroBatch = %d, want 13 (fits)", est.MicroBatch)
+	}
+	// Compute must be priced on the 13-image busiest shard: B=100 and
+	// B=104 over 8 devices share it, so their iteration compute matches.
+	even := Simulate(c, resnet, 104, 90, imagenetSize) // 13 each, same shard
+	if est.CompSec != even.CompSec {
+		t.Fatalf("B=100 and B=104 on 8 devices share the 13-image busiest shard: CompSec %v vs %v", est.CompSec, even.CompSec)
+	}
+	// Throughput stays consistent with the priced iteration time.
+	if want := 100 / (est.CompSec + est.CommSec); math.Abs(est.ImagesSec-want) > 1e-9*want {
+		t.Fatalf("ImagesSec %v inconsistent with iteration time (want %v)", est.ImagesSec, want)
+	}
+	// More devices than samples degenerates to one image per busy device.
+	tiny := Simulate(KNLCluster(256), resnet, 100, 90, imagenetSize)
+	if tiny.LocalBatch != 1 {
+		t.Fatalf("LocalBatch = %d with more devices than samples, want 1", tiny.LocalBatch)
+	}
+}
+
+// TestOverlapBucketModel pins the bucket-level overlap pricing that
+// replaced the max(0, t_comm − t_comp/2) heuristic: exposure is never
+// negative, never exceeds the serial communication, stays at or below the
+// old bound whenever that bound was positive, and the per-bucket timeline
+// accounts every bucket with the first-layers bucket exposed.
+func TestOverlapBucketModel(t *testing.T) {
+	resnet := models.ResNet50Spec()
+	for _, base := range []Cluster{KNLCluster(512), KNLCluster(2048), CPUCluster(1024), P100Cluster(256)} {
+		plain := Simulate(base, resnet, 32768, 90, imagenetSize)
+		over := base
+		over.Overlap = true
+		est := Simulate(over, resnet, 32768, 90, imagenetSize)
+		if est.CommSec < 0 {
+			t.Fatalf("%dx %s: negative exposed comm", base.Count, base.Machine.Name)
+		}
+		if est.CommSec > plain.CommSec {
+			t.Fatalf("%dx %s: exposure %.6fs exceeds serial comm %.6fs", base.Count, base.Machine.Name, est.CommSec, plain.CommSec)
+		}
+		if old := plain.CommSec - plain.CompSec/2; old > 0 && est.CommSec > old {
+			t.Errorf("%dx %s: bucket-level exposure %.6fs exceeds old heuristic bound %.6fs",
+				base.Count, base.Machine.Name, est.CommSec, old)
+		}
+		if est.HiddenCommSec < 0 {
+			t.Fatalf("%dx %s: negative hidden comm %.6fs", base.Count, base.Machine.Name, est.HiddenCommSec)
+		}
+		if got := est.HiddenCommSec + est.CommSec; math.Abs(got-plain.CommSec) > 1e-12+1e-9*plain.CommSec {
+			t.Fatalf("%dx %s: hidden+exposed %.9fs != serial %.9fs", base.Count, base.Machine.Name, got, plain.CommSec)
+		}
+		if len(est.Buckets) != DefaultOverlapBuckets {
+			t.Fatalf("timeline has %d buckets, want %d", len(est.Buckets), DefaultOverlapBuckets)
+		}
+		if est.Buckets[0].Hidden {
+			t.Fatal("the first layers' bucket can never hide")
+		}
+		if est.BackwardSec <= 0 || est.BackwardSec >= est.CompSec {
+			t.Fatalf("backward window %.6fs outside (0, CompSec=%.6fs)", est.BackwardSec, est.CompSec)
+		}
+	}
+	// Hierarchical: the cross-tier pipeline (inter exchange of bucket k
+	// over the intra reduce of bucket k+1) plus the backward window must
+	// beat the serial two-tier composition.
+	pod := DGXPod(8)
+	plain := Simulate(pod, resnet, 8192, 90, imagenetSize)
+	pod.Overlap = true
+	est := Simulate(pod, resnet, 8192, 90, imagenetSize)
+	if est.CommSec >= plain.CommSec {
+		t.Fatalf("hierarchical overlap hid nothing: %.6fs vs serial %.6fs", est.CommSec, plain.CommSec)
+	}
+	if est.CommSec <= 0 {
+		t.Fatal("the first layers' bucket stays exposed under hierarchy too")
+	}
+}
+
+// TestOverlapBucketCountKnob: a finer bucket split can only expose less.
+func TestOverlapBucketCountKnob(t *testing.T) {
+	resnet := models.ResNet50Spec()
+	prev := math.Inf(1)
+	for _, k := range []int{1, 4, 16, 64} {
+		c := KNLCluster(512)
+		c.Overlap = true
+		c.OverlapBuckets = k
+		est := Simulate(c, resnet, 32768, 90, imagenetSize)
+		if est.CommSec > prev+1e-12 {
+			t.Fatalf("%d buckets exposed more than fewer buckets: %.6fs > %.6fs", k, est.CommSec, prev)
+		}
+		prev = est.CommSec
+		if len(est.Buckets) != k {
+			t.Fatalf("OverlapBuckets=%d produced %d buckets", k, len(est.Buckets))
+		}
 	}
 }
 

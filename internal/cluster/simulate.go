@@ -22,10 +22,22 @@ type Cluster struct {
 	// flat, the cross-node leader exchange when PerNode > 1.
 	Algo dist.Algorithm
 	// Overlap models communication/computation overlap (Das et al. 2016;
-	// Goyal et al. 2017): the exposed communication per iteration is the
-	// part not hidden behind the backward pass, approximated as
-	// max(0, t_comm − t_comp/2).
+	// Goyal et al. 2017) at bucket granularity, mirroring the engine's
+	// overlap scheduler (dist.Config.Overlap): the gradient is split into
+	// OverlapBuckets near-equal buckets, each becomes ready at its share
+	// of the backward pass (from the tail of the network forwards), and
+	// the bucket allreduces pipeline against the remaining backward — for
+	// hierarchical clusters with the inter exchange of bucket k
+	// overlapping the intra reduce of bucket k+1 on the disjoint fabrics.
+	// The exposed communication per iteration is what the pipeline cannot
+	// hide (at minimum the first layers' bucket, which is only ready when
+	// the backward ends); Estimate.Buckets reports the per-bucket
+	// timeline.
 	Overlap bool
+	// OverlapBuckets is the number of gradient buckets the overlap model
+	// pipelines; 0 defaults to DefaultOverlapBuckets. Ignored unless
+	// Overlap is set.
+	OverlapBuckets int
 
 	// PerNode groups the devices into nodes of this size; > 1 prices the
 	// allreduce hierarchically — IntraAlgo over IntraNetwork inside each
@@ -40,6 +52,20 @@ type Cluster struct {
 	// (Ring is the usual choice on fast local fabrics).
 	IntraAlgo dist.Algorithm
 }
+
+// DefaultOverlapBuckets is the bucket count the overlap model uses when
+// Cluster.OverlapBuckets is zero — fine enough that the unhideable first
+// bucket is a small fraction of the payload, coarse enough that per-bucket
+// latency (the alpha terms) does not dominate.
+const DefaultOverlapBuckets = 16
+
+// backwardShare is the fraction of an iteration's compute spent in the
+// backward pass — the window communication can hide in. Training costs
+// roughly one forward plus two forward-equivalents of backward (weight and
+// input gradients), hence 2/3; the old heuristic's t_comp/2 window was
+// smaller, which is one of the two ways it overpriced exposure (the other:
+// it ignored that the first layers' bucket can never hide).
+const backwardShare = 2.0 / 3
 
 // Hierarchy returns the two-tier layout the cluster prices and true when
 // PerNode groups the devices (PerNode > 1); it panics if PerNode does not
@@ -118,6 +144,16 @@ type Estimate struct {
 	// (PerNode > 1): intra-node traffic priced on IntraNetwork, inter-node
 	// on Network. Zero for flat clusters.
 	TierComm dist.TierStats
+	// BackwardSec is the backward-pass share of CompSec, the window the
+	// overlap model hides communication in. Zero unless Overlap.
+	BackwardSec float64
+	// HiddenCommSec is the per-iteration communication hidden behind the
+	// backward pass: the serial bucketed allreduce time minus the exposed
+	// CommSec, never negative. Zero unless Overlap.
+	HiddenCommSec float64
+	// Buckets is the overlap pipeline's per-bucket timeline (bucket 0
+	// covers the first layers and is ready last). Nil unless Overlap.
+	Buckets []comm.BucketTiming
 }
 
 // Duration returns the total time as a time.Duration.
@@ -160,10 +196,12 @@ func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int)
 		Cluster: c, Model: spec.Name, Batch: batch, Epochs: epochs,
 		Iterations: comm.Iterations(epochs, datasetSize, batch),
 	}
-	e.LocalBatch = batch / c.Count
-	if e.LocalBatch == 0 {
-		e.LocalBatch = 1 // more devices than samples: P = batch effectively
-	}
+	// The largest shard sets the lockstep iteration time, so price
+	// ceil(batch/Count): truncating would silently drop batch mod Count
+	// samples, underpricing compute and overstating throughput whenever
+	// the global batch does not divide the device count. (More devices
+	// than samples degenerates to one image on the busiest devices.)
+	e.LocalBatch = (batch + c.Count - 1) / c.Count
 	fit := MaxBatch(c.Machine, spec)
 	if fit == 0 {
 		e.OOM = true
@@ -174,7 +212,8 @@ func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int)
 		e.MicroBatch = fit // gradient accumulation in micro-batches
 	}
 	var rawComm float64
-	if h, ok := c.Hierarchy(); ok {
+	h, hier := c.Hierarchy()
+	if hier {
 		e.TierComm = comm.ExpectedTierStats(h, spec.WeightBytes())
 		e.Comm = e.TierComm.Total()
 		rawComm = comm.HierarchicalAllreduceTime(c.IntraNetwork, c.Network, h, spec.WeightBytes())
@@ -187,11 +226,25 @@ func Simulate(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int)
 	flopsPerIter := float64(e.LocalBatch) * float64(spec.TrainFLOPsPerImage())
 	e.CompSec = flopsPerIter / (c.Machine.PeakFLOPS * eff)
 	if c.Overlap {
-		exposed := rawComm - e.CompSec/2
-		if exposed < 0 {
-			exposed = 0
+		// Bucket-level overlap: pipeline the bucket allreduces against
+		// the backward pass (per fabric for hierarchical clusters) and
+		// expose only what the pipeline cannot hide.
+		k := c.OverlapBuckets
+		if k <= 0 {
+			k = DefaultOverlapBuckets
 		}
-		e.CommSec = exposed
+		bucketBytes := comm.EqualBuckets(spec.WeightBytes(), k)
+		e.BackwardSec = backwardShare * e.CompSec
+		if hier {
+			e.Buckets = comm.HierOverlapSchedule(c.IntraNetwork, c.Network, h, bucketBytes, e.BackwardSec)
+		} else {
+			e.Buckets = comm.OverlapSchedule(c.Network, c.Algo, c.Count, bucketBytes, e.BackwardSec)
+		}
+		e.CommSec = comm.ExposedTime(e.Buckets, e.BackwardSec)
+		// The bucket costs sum exactly to rawComm (latency amortizes
+		// across the pipelined buckets), so the hidden remainder is the
+		// serial cost minus what stayed exposed.
+		e.HiddenCommSec = rawComm - e.CommSec
 	} else {
 		e.CommSec = rawComm
 	}

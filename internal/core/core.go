@@ -86,6 +86,12 @@ type Config struct {
 	// Bucket chunks gradient reduction into buckets of at most this many
 	// float32 coordinates (0 = one bucket; see dist.Config.BucketElems).
 	Bucket int
+	// Overlap fires each bucket's reduction as soon as its gradients are
+	// final on every shard, inside the backward pass, instead of after it
+	// (dist.Config.Overlap). Values are bit-identical either way;
+	// Result.Overlap reports how much of the schedule hid behind the
+	// backward. Pair with Bucket — a single bucket cannot hide.
+	Overlap bool
 	// Codec optionally compresses gradient exchange payloads (lossy;
 	// dist.FP16Codec, dist.NewOneBitCodec).
 	Codec dist.Codec
@@ -200,6 +206,10 @@ type Result struct {
 	// TierComm splits Comm by fabric tier when Config.Topology arranged
 	// the workers hierarchically; zero for flat runs.
 	TierComm dist.TierStats
+	// Overlap splits Comm into the rounds and bytes hidden behind the
+	// backward pass versus exposed at the step barrier. Everything is
+	// exposed unless Config.Overlap was set.
+	Overlap dist.OverlapStats
 }
 
 // Train runs the configured recipe on the dataset and returns the result.
@@ -219,7 +229,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	}
 	engine := dist.NewEngine(dist.Config{
 		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
-		Codec: cfg.Codec, Faults: cfg.Faults,
+		Overlap: cfg.Overlap, Codec: cfg.Codec, Faults: cfg.Faults,
 	}, replicas)
 	defer engine.Close()
 
@@ -319,7 +329,9 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 				break
 			}
 			optimizer.Step(sched.LR(step, totalSteps))
-			engine.BroadcastWeights()
+			if err := engine.BroadcastWeights(); err != nil {
+				return nil, err
+			}
 			epochLoss += loss
 			epochSteps++
 			step++
@@ -332,7 +344,11 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		}
 		last := epoch == cfg.Epochs-1 || res.Diverged
 		if last || epoch%cfg.EvalEveryEpochs == 0 {
-			stats.TestAcc = engine.EvalAccuracy(ds.Test.Images, ds.Test.Labels, 256)
+			acc, err := engine.EvalAccuracy(ds.Test.Images, ds.Test.Labels, 256)
+			if err != nil {
+				return nil, err
+			}
+			stats.TestAcc = acc
 			if stats.TestAcc > res.BestAcc {
 				res.BestAcc = stats.TestAcc
 			}
@@ -344,6 +360,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	res.Iterations = engine.Steps()
 	res.Comm = engine.Stats()
 	res.TierComm = engine.TierStats()
+	res.Overlap = engine.OverlapStats()
 	res.Wall = time.Since(start)
 	return res, nil
 }

@@ -21,10 +21,14 @@
 //     per-worker batch shards: forward/backward on each worker's replica,
 //     gradient averaging through the selected topology, weight broadcast,
 //     data-parallel evaluation, gradient bucketing (chunked reduction, the
-//     overlap-friendly granularity real frameworks use), optional payload
-//     compression (internal/compress 1-bit SGD or FP16 via the Codec hook)
-//     and deterministic fault injection (dropped payloads are re-requested,
-//     straggling workers are awaited) for scenario diversity.
+//     overlap-friendly granularity real frameworks use), bucket reductions
+//     overlapped with the backward pass (Config.Overlap: each bucket's
+//     allreduce fires the moment its last covering parameter's gradient
+//     lands, driven by nn.Network's gradient-ready notification, with the
+//     schedule split into hidden vs exposed in OverlapStats), optional
+//     payload compression (internal/compress 1-bit SGD or FP16 via the
+//     Codec hook) and deterministic fault injection (dropped payloads are
+//     re-requested, straggling workers are awaited) for scenario diversity.
 //
 // # Reproducibility contract
 //
@@ -109,6 +113,64 @@ func (s *CommStats) Add(o CommStats) {
 	s.Stalls += o.Stalls
 }
 
+// OverlapStats splits a schedule's latency rounds and payload bytes into the
+// part hidden behind the backward pass and the exposed remainder — the
+// accounting view of communication/computation overlap (Das et al. 2016;
+// Goyal et al. 2017). Under Config.Overlap the engine classifies each
+// gradient bucket structurally: a bucket whose reduction launches while some
+// worker is still back-propagating earlier layers is hidden; the bucket
+// covering the network's first parameter — which only becomes ready when the
+// backward pass ends — is exposed, as are weight broadcasts and
+// fault-recovery traffic (both happen at the step barrier). The invariant
+// HiddenRounds+ExposedRounds == CommStats.Steps and HiddenBytes+ExposedBytes
+// == CommStats.Bytes holds for every step; with Overlap disabled everything
+// is exposed.
+type OverlapStats struct {
+	// HiddenRounds and HiddenBytes count the latency rounds and payload of
+	// bucket reductions that fired inside the backward pass.
+	HiddenRounds, HiddenBytes int64
+	// ExposedRounds and ExposedBytes count everything the step waits on:
+	// the final bucket's reduction, weight broadcasts, recovery resends.
+	ExposedRounds, ExposedBytes int64
+}
+
+// Add accumulates p into o.
+func (o *OverlapStats) Add(p OverlapStats) {
+	o.HiddenRounds += p.HiddenRounds
+	o.HiddenBytes += p.HiddenBytes
+	o.ExposedRounds += p.ExposedRounds
+	o.ExposedBytes += p.ExposedBytes
+}
+
+// add files one schedule under the hidden or exposed side of the split.
+func (o *OverlapStats) add(s CommStats, hidden bool) {
+	if hidden {
+		o.HiddenRounds += s.Steps
+		o.HiddenBytes += s.Bytes
+		return
+	}
+	o.ExposedRounds += s.Steps
+	o.ExposedBytes += s.Bytes
+}
+
+// Rounds returns the total latency rounds across both sides, which equals
+// the matching CommStats.Steps.
+func (o OverlapStats) Rounds() int64 { return o.HiddenRounds + o.ExposedRounds }
+
+// TotalBytes returns the total payload across both sides, which equals the
+// matching CommStats.Bytes.
+func (o OverlapStats) TotalBytes() int64 { return o.HiddenBytes + o.ExposedBytes }
+
+// HiddenByteFrac returns the fraction of payload bytes hidden behind the
+// backward pass (0 when nothing moved).
+func (o OverlapStats) HiddenByteFrac() float64 {
+	total := o.TotalBytes()
+	if total == 0 {
+		return 0
+	}
+	return float64(o.HiddenBytes) / float64(total)
+}
+
 // ceilLog2 returns ⌈log₂ p⌉ for p >= 1.
 func ceilLog2(p int) int64 {
 	var n int64
@@ -186,6 +248,39 @@ func broadcastSchedule(algo Algorithm, p int, payloadBytes int64) CommStats {
 	default:
 		panic(fmt.Sprintf("dist: unknown algorithm %v", algo))
 	}
+}
+
+// reduceBytesFactor returns the schedule's aggregate bytes per payload byte:
+// reduceSchedule(algo, p, B).Bytes == reduceBytesFactor(algo, p) * B. The
+// engine's codec accounting uses it to price non-uniform wire payloads
+// exactly (multiply the summed wire bytes first, divide by the shard count
+// last) instead of truncating a per-shard mean.
+func reduceBytesFactor(algo Algorithm, p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	switch algo {
+	case Central, Tree:
+		return int64(p - 1)
+	case Ring:
+		return 2 * int64(p-1)
+	default:
+		panic(fmt.Sprintf("dist: unknown algorithm %v", algo))
+	}
+}
+
+// ReduceSchedule returns the closed-form schedule of the gradient-sum phase
+// of one reduction of a payloadBytes payload across p workers — exactly the
+// counters the engine records per bucket. Pair with BroadcastSchedule for a
+// full allreduce.
+func ReduceSchedule(algo Algorithm, p int, payloadBytes int64) CommStats {
+	return reduceSchedule(algo, p, payloadBytes)
+}
+
+// BroadcastSchedule returns the closed-form schedule of distributing a
+// payloadBytes payload from the root to the other p−1 workers.
+func BroadcastSchedule(algo Algorithm, p int, payloadBytes int64) CommStats {
+	return broadcastSchedule(algo, p, payloadBytes)
 }
 
 // senderShare returns the message and byte count a single non-root worker

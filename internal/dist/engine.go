@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -36,6 +37,20 @@ type Config struct {
 	// more, smaller messages). 0 reduces the whole gradient as one
 	// bucket.
 	BucketElems int
+	// Overlap fires each bucket's reduction as soon as the gradients it
+	// covers are final on every shard — while later layers are still
+	// back-propagating — instead of reducing everything after the full
+	// backward pass. A per-parameter gradient-ready notification from
+	// nn.Network.Backward drives an overlap scheduler that launches a
+	// bucket's allreduce the moment its last covering parameter lands.
+	// Values stay canonical and bit-identical to the non-overlapped path
+	// (same per-coordinate arithmetic, same codec state); what changes is
+	// when the collectives run and how they are accounted: OverlapStats
+	// splits every step's rounds and bytes into hidden (reduced inside
+	// the backward) versus exposed (the bucket covering the first
+	// parameter, weight broadcasts, recovery traffic). Pair with
+	// BucketElems — with a single bucket nothing can hide.
+	Overlap bool
 	// Codec optionally compresses every reduction payload on the wire
 	// (lossy; see FP16Codec and OneBitCodec). nil exchanges raw float32.
 	Codec Codec
@@ -60,6 +75,21 @@ type Engine struct {
 	nparams  int           // total float32 coordinates per replica
 	buckets  [][2]int      // bucket coordinate ranges
 
+	// Overlap-scheduler structures (see Config.Overlap). paramOffs maps
+	// master parameter index to its flat-gradient offset; paramBuckets
+	// lists the buckets each parameter's coordinates fall into;
+	// coverCount is the number of parameters covering each bucket; and
+	// bucketHidden marks the buckets that become ready strictly before
+	// the backward pass ends (they do not cover parameter 0, the last
+	// gradient to land).
+	paramOffs    []int
+	paramBuckets [][]int
+	coverCount   []int
+	bucketHidden []bool
+	curSlot      []int          // per worker: logical shard being back-propagated
+	remaining    []atomic.Int64 // per bucket: outstanding (shard, param) landings
+	readyCh      chan int       // per step: buckets whose gradients are final
+
 	jobs []chan job
 	done chan error
 	wg   sync.WaitGroup
@@ -68,13 +98,15 @@ type Engine struct {
 	losses []float64   // per logical shard: mean loss over the shard
 	evalOK []int       // per worker: correct predictions of the last eval
 
-	reduced   []float32 // scratch: canonically reduced flat gradient
-	steps     int64
-	stats     CommStats
-	lastStep  CommStats
-	tiers     TierStats // per-fabric split of stats (hierarchical runs only)
-	lastTiers TierStats // per-fabric split of lastStep
-	closed    bool
+	reduced     []float32 // scratch: canonically reduced flat gradient
+	steps       int64
+	stats       CommStats
+	lastStep    CommStats
+	tiers       TierStats // per-fabric split of stats (hierarchical runs only)
+	lastTiers   TierStats // per-fabric split of lastStep
+	overlap     OverlapStats
+	lastOverlap OverlapStats
+	closed      bool
 }
 
 type jobKind int
@@ -132,11 +164,20 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	for _, p := range e.params[0] {
 		e.nparams += p.Numel()
 	}
-	e.buckets = bucketRanges(e.nparams, cfg.BucketElems)
+	e.buckets = BucketRanges(e.nparams, cfg.BucketElems)
 	for s := range e.grads {
 		e.grads[s] = make([]float32, e.nparams)
 	}
 	e.reduced = make([]float32, e.nparams)
+	if cfg.Overlap {
+		e.mapBuckets()
+		e.curSlot = make([]int, len(replicas))
+		e.remaining = make([]atomic.Int64, len(e.buckets))
+		for w := range replicas {
+			w := w
+			replicas[w].SetGradNotify(func(param int) { e.gradReady(w, param) })
+		}
+	}
 
 	e.jobs = make([]chan job, len(replicas))
 	for w := range replicas {
@@ -144,12 +185,16 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 		e.wg.Add(1)
 		go e.worker(w)
 	}
-	e.BroadcastWeights()
+	if err := e.BroadcastWeights(); err != nil {
+		panic(err) // replicas were just validated to share the architecture
+	}
 	return e
 }
 
-// bucketRanges splits [0, n) into chunks of at most elems coordinates.
-func bucketRanges(n, elems int) [][2]int {
+// BucketRanges splits [0, n) into chunks of at most elems coordinates — the
+// bucket layout the engine reduces (and, under Config.Overlap, the
+// granularity at which reductions hide inside the backward pass).
+func BucketRanges(n, elems int) [][2]int {
 	if elems <= 0 || elems >= n {
 		if n == 0 {
 			return nil
@@ -165,6 +210,62 @@ func bucketRanges(n, elems int) [][2]int {
 		out = append(out, [2]int{lo, hi})
 	}
 	return out
+}
+
+// mapBuckets builds the bucket/parameter cover maps the overlap scheduler
+// and the hidden/exposed classification use: which buckets each parameter's
+// coordinates fall into, how many parameters cover each bucket, and which
+// buckets become ready strictly before the backward pass ends. A bucket is
+// ready when its lowest-indexed covering parameter lands; since parameters
+// land in reverse order, only buckets covering parameter 0 wait for the very
+// end of the backward — every other bucket is overlap-eligible (hidden).
+func (e *Engine) mapBuckets() {
+	e.paramOffs = make([]int, len(e.params[0])+1)
+	for i, p := range e.params[0] {
+		e.paramOffs[i+1] = e.paramOffs[i] + p.Numel()
+	}
+	e.paramBuckets = make([][]int, len(e.params[0]))
+	e.coverCount = make([]int, len(e.buckets))
+	e.bucketHidden = make([]bool, len(e.buckets))
+	cursor := 0 // buckets and parameters are both coordinate-sorted
+	for bi, b := range e.buckets {
+		first := -1
+		for pi := cursor; pi < len(e.params[0]); pi++ {
+			plo, phi := e.paramOffs[pi], e.paramOffs[pi+1]
+			if plo >= b[1] {
+				break
+			}
+			if phi <= b[0] || plo == phi {
+				continue
+			}
+			e.paramBuckets[pi] = append(e.paramBuckets[pi], bi)
+			e.coverCount[bi]++
+			if first < 0 {
+				first = pi
+			}
+		}
+		if first >= 0 {
+			cursor = first
+		}
+		e.bucketHidden[bi] = first > 0
+	}
+}
+
+// gradReady is the per-parameter notification nn.Network.Backward fires on
+// worker w: it copies the now-final parameter gradient of the shard the
+// worker is back-propagating into the flat shard gradient, and hands every
+// bucket whose last covering (shard, parameter) pair just landed to the
+// overlap scheduler. The atomic countdown plus the buffered channel give the
+// scheduler a happens-before edge over all shard writes it will read.
+func (e *Engine) gradReady(w, pi int) {
+	slot := e.curSlot[w]
+	off := e.paramOffs[pi]
+	copy(e.grads[slot][off:e.paramOffs[pi+1]], e.params[w][pi].G.Data)
+	for _, bi := range e.paramBuckets[pi] {
+		if e.remaining[bi].Add(-1) == 0 {
+			e.readyCh <- bi
+		}
+	}
 }
 
 // Workers returns the physical worker (replica) count.
@@ -192,6 +293,15 @@ func (e *Engine) TierStats() TierStats { return e.tiers }
 // step, the hierarchical split of StepStats.
 func (e *Engine) StepTierStats() TierStats { return e.lastTiers }
 
+// OverlapStats returns the cumulative hidden/exposed split of the counters:
+// OverlapStats().Rounds() == Stats().Steps and OverlapStats().TotalBytes()
+// == Stats().Bytes always. Nothing is hidden unless Config.Overlap is set.
+func (e *Engine) OverlapStats() OverlapStats { return e.overlap }
+
+// StepOverlapStats returns the hidden/exposed split of the most recent
+// training step, the overlap view of StepStats.
+func (e *Engine) StepOverlapStats() OverlapStats { return e.lastOverlap }
+
 // Close shuts down the worker goroutines. The engine must not be used
 // afterwards; Close is idempotent.
 func (e *Engine) Close() {
@@ -203,41 +313,64 @@ func (e *Engine) Close() {
 		close(ch)
 	}
 	e.wg.Wait()
+	if e.cfg.Overlap {
+		// Unhook the gradient notifications so the replicas can be used
+		// (or rewrapped in a new engine) after shutdown.
+		for _, r := range e.replicas {
+			r.SetGradNotify(nil)
+		}
+	}
 }
 
-// record accounts one schedule into the cumulative and per-step counters.
-func (e *Engine) record(s CommStats) {
+// record accounts one schedule into the cumulative, per-step and overlap
+// counters; hidden files the schedule's rounds and bytes under the
+// hidden side of the overlap split.
+func (e *Engine) record(s CommStats, hidden bool) {
 	e.stats.Add(s)
 	e.lastStep.Add(s)
+	e.overlap.add(s, hidden)
+	e.lastOverlap.add(s, hidden)
 }
 
 // recordTiers accounts a per-tier schedule into the tier counters and its
 // aggregate into the flat counters, keeping Stats() == TierStats().Total()
 // for hierarchical runs.
-func (e *Engine) recordTiers(t TierStats) {
+func (e *Engine) recordTiers(t TierStats, hidden bool) {
 	e.tiers.Add(t)
 	e.lastTiers.Add(t)
-	e.record(t.Total())
+	e.record(t.Total(), hidden)
 }
 
-// recordReduce accounts one gradient-reduction schedule of a payloadBytes
-// bucket, per tier when the engine is hierarchical.
-func (e *Engine) recordReduce(payloadBytes int64) {
+// recordReduce accounts one gradient-reduction schedule of a bucket, per
+// tier when the engine is hierarchical. wireTotal is the summed wire bytes
+// of the bucket across all live shards and shards their count: the
+// schedule's byte totals are the schedule factor times the mean shard
+// payload, computed multiply-first/divide-last so non-uniform codec payloads
+// are accounted exactly (to the byte) instead of through a truncated
+// per-shard mean.
+func (e *Engine) recordReduce(wireTotal int64, shards int, hidden bool) {
+	n := int64(shards)
 	if h := e.cfg.Topology; h != nil {
-		e.recordTiers(hierReduceSchedule(*h, payloadBytes))
+		t := hierReduceSchedule(*h, 0)
+		t.Intra.Bytes = int64(h.Nodes) * reduceBytesFactor(h.Intra, h.PerNode) * wireTotal / n
+		t.Inter.Bytes = reduceBytesFactor(h.Inter, h.Nodes) * wireTotal / n
+		e.recordTiers(t, hidden)
 		return
 	}
-	e.record(reduceSchedule(e.cfg.Algo, len(e.replicas), payloadBytes))
+	st := reduceSchedule(e.cfg.Algo, len(e.replicas), 0)
+	st.Bytes = reduceBytesFactor(e.cfg.Algo, len(e.replicas)) * wireTotal / n
+	e.record(st, hidden)
 }
 
 // recordBroadcast accounts one weight-broadcast schedule of a payloadBytes
-// bucket, per tier when the engine is hierarchical.
+// bucket, per tier when the engine is hierarchical. Broadcasts run after the
+// optimizer step, so they are always exposed.
 func (e *Engine) recordBroadcast(payloadBytes int64) {
 	if h := e.cfg.Topology; h != nil {
-		e.recordTiers(hierBroadcastSchedule(*h, payloadBytes))
+		e.recordTiers(hierBroadcastSchedule(*h, payloadBytes), false)
 		return
 	}
-	e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), payloadBytes))
+	e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), payloadBytes), false)
 }
 
 // worker is the lockstep loop of one persistent worker goroutine.
@@ -270,8 +403,15 @@ func (e *Engine) run(w int, net *nn.Network, loss *nn.SoftmaxCrossEntropy, j job
 			net.ZeroGrad()
 			out := net.Forward(x, true)
 			e.losses[slot] = loss.Forward(out, labels)
-			net.Backward(loss.Backward())
-			flatten(e.params[w], e.grads[slot])
+			if e.cfg.Overlap {
+				// gradReady flattens per parameter as Backward lands
+				// them, feeding the overlap scheduler.
+				e.curSlot[w] = slot
+				net.Backward(loss.Backward())
+			} else {
+				net.Backward(loss.Backward())
+				flatten(e.params[w], e.grads[slot])
+			}
 		}
 	case jobEval:
 		correct := 0
@@ -336,9 +476,13 @@ func (e *Engine) dispatch(mk func(w int) job) error {
 // into the engine's logical shards, runs forward/backward on every shard
 // across the worker replicas in lockstep, and allreduces the shard
 // gradients — weighted by shard size, canonically ordered — into the master
-// replica's parameter gradients. It returns the batch-mean loss. The
-// replicas must hold identical weights (NewEngine and BroadcastWeights
-// guarantee this in the standard loop).
+// replica's parameter gradients. Under Config.Overlap each bucket's
+// reduction fires the moment the gradients it covers are final on every
+// shard, concurrently with the still-running backward pass; otherwise all
+// buckets reduce after the barrier. Either way the reduced values are
+// bit-identical. It returns the batch-mean loss. The replicas must hold
+// identical weights (NewEngine and BroadcastWeights guarantee this in the
+// standard loop).
 func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error) {
 	b := x.Shape[0]
 	if b == 0 {
@@ -350,12 +494,64 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	spans := data.Spans(b, e.cfg.Shards)
 	e.lastStep = CommStats{}
 	e.lastTiers = TierStats{}
-	if err := e.dispatch(func(w int) job {
+	e.lastOverlap = OverlapStats{}
+	weights, live := shardWeights(spans, b)
+
+	mkJob := func(w int) job {
 		return job{kind: jobGrad, x: x, labels: labels, spans: spans, slots: e.ownedSlots(w)}
-	}); err != nil {
-		return 0, err
 	}
-	payloads := e.reduceShards(spans, b)
+	payloads := make([]int64, len(e.buckets))
+	if e.cfg.Overlap && len(e.buckets) > 0 && len(live) > 0 {
+		for bi := range e.buckets {
+			e.remaining[bi].Store(int64(e.coverCount[bi]) * int64(len(live)))
+		}
+		// The scheduler records schedules for buckets that fire before a
+		// worker failure surfaces; snapshot the counters so a failed step
+		// accounts nothing, matching the sequential path. (A
+		// data-dependent codec's error-feedback state may still have
+		// advanced for those buckets — the aborted step's values are
+		// discarded either way.)
+		statsSnap, tiersSnap, overlapSnap := e.stats, e.tiers, e.overlap
+		stepSnap, stepTiersSnap, stepOverlapSnap := e.lastStep, e.lastTiers, e.lastOverlap
+		// Buffered to the bucket count so gradReady never blocks a
+		// worker, even when the scheduler lags or a step aborts.
+		e.readyCh = make(chan int, len(e.buckets))
+		abort := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for n := 0; n < len(e.buckets); n++ {
+				select {
+				case bi := <-e.readyCh:
+					payloads[bi] = e.reduceBucket(bi, live, weights, e.bucketHidden[bi])
+				case <-abort:
+					return
+				}
+			}
+		}()
+		if err := e.dispatch(mkJob); err != nil {
+			// A failed worker leaves bucket countdowns unresolved; the
+			// scheduler would wait forever without the abort.
+			close(abort)
+			<-done
+			e.stats, e.tiers, e.overlap = statsSnap, tiersSnap, overlapSnap
+			e.lastStep, e.lastTiers, e.lastOverlap = stepSnap, stepTiersSnap, stepOverlapSnap
+			return 0, err
+		}
+		<-done
+	} else {
+		if err := e.dispatch(mkJob); err != nil {
+			return 0, err
+		}
+		for bi := range e.buckets {
+			payloads[bi] = e.reduceBucket(bi, live, weights, false)
+		}
+	}
+	off := 0
+	for _, p := range e.params[0] {
+		copy(p.G.Data, e.reduced[off:off+p.Numel()])
+		off += p.Numel()
+	}
 	e.injectFaults(payloads)
 	e.steps++
 
@@ -369,6 +565,20 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	return loss, nil
 }
 
+// shardWeights returns the batch-mean weight of every shard span and the
+// indices of the non-empty (live) ones.
+func shardWeights(spans [][2]int, b int) (weights []float64, live []int) {
+	weights = make([]float64, len(spans))
+	for s, span := range spans {
+		if span[0] == span[1] {
+			continue
+		}
+		weights[s] = float64(span[1]-span[0]) / float64(b)
+		live = append(live, s)
+	}
+	return weights, live
+}
+
 // ownedSlots returns the logical shard slots worker w processes: shard s
 // belongs to worker s mod W, keeping the per-worker load within one shard
 // of even for any Shards/Workers ratio.
@@ -380,50 +590,39 @@ func (e *Engine) ownedSlots(w int) []int {
 	return slots
 }
 
-// reduceShards performs the bucketed allreduce of the shard gradients into
-// the master replica's parameter gradients: per bucket, the optional codec
-// rounds every shard payload through its wire format, the schedule of the
-// configured topology is accounted, and the canonical float64-accumulated
-// weighted sum lands in the master. It returns the accounted per-bucket
-// wire payload sizes so fault recovery prices resends consistently.
-func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
-	weights := make([]float64, len(spans))
-	var live []int
-	for s, span := range spans {
-		if span[0] == span[1] {
-			continue
+// reduceBucket reduces one bucket of the shard gradients into e.reduced:
+// the optional codec rounds every live shard's payload through its wire
+// format, the schedule of the configured topology is accounted (hidden when
+// the overlap scheduler fired the bucket inside the backward pass), and the
+// canonical float64-accumulated weighted sum lands in the scratch vector.
+// It returns the rounded mean wire payload so fault recovery prices resends
+// consistently. Safe to run concurrently with workers still back-propagating
+// other buckets' coordinates: it only touches [lo, hi).
+func (e *Engine) reduceBucket(bi int, live []int, weights []float64, hidden bool) int64 {
+	lo, hi := e.buckets[bi][0], e.buckets[bi][1]
+	wireTotal := 4 * int64(hi-lo) * int64(len(live))
+	if e.cfg.Codec != nil {
+		// Per-payload wire sizes may differ for data-dependent codecs;
+		// the schedule formulas price one uniform payload, so account
+		// the exact summed wire bytes through the schedule's byte
+		// factor (see recordReduce).
+		wires := make([]int64, len(live))
+		tasks := make([]func(), len(live))
+		for i, s := range live {
+			slot := s*len(e.buckets) + bi
+			seg := e.grads[s][lo:hi]
+			i := i
+			tasks[i] = func() { wires[i] = e.cfg.Codec.Transform(slot, seg) }
 		}
-		weights[s] = float64(span[1]-span[0]) / float64(b)
-		live = append(live, s)
-	}
-	payloads := make([]int64, len(e.buckets))
-	for bi, bucket := range e.buckets {
-		lo, hi := bucket[0], bucket[1]
-		payload := 4 * int64(hi-lo)
-		if e.cfg.Codec != nil {
-			// Per-payload wire sizes may differ for data-dependent
-			// codecs; the schedule formulas price one uniform payload,
-			// so account the mean wire size across the shards.
-			wires := make([]int64, len(live))
-			tasks := make([]func(), len(live))
-			for i, s := range live {
-				slot := s*len(e.buckets) + bi
-				seg := e.grads[s][lo:hi]
-				i := i
-				tasks[i] = func() { wires[i] = e.cfg.Codec.Transform(slot, seg) }
-			}
-			par.Do(tasks...)
-			var total int64
-			for _, w := range wires {
-				total += w
-			}
-			payload = total / int64(len(live))
+		par.Do(tasks...)
+		wireTotal = 0
+		for _, w := range wires {
+			wireTotal += w
 		}
-		payloads[bi] = payload
-		e.recordReduce(payload)
 	}
-	par.ForGrain(e.nparams, 2048, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	e.recordReduce(wireTotal, len(live), hidden)
+	par.ForGrain(hi-lo, 2048, func(l, h int) {
+		for i := lo + l; i < lo+h; i++ {
 			var acc float64
 			for _, s := range live {
 				acc += weights[s] * float64(e.grads[s][i])
@@ -431,12 +630,8 @@ func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
 			e.reduced[i] = float32(acc)
 		}
 	})
-	off := 0
-	for _, p := range e.params[0] {
-		copy(p.G.Data, e.reduced[off:off+p.Numel()])
-		off += p.Numel()
-	}
-	return payloads
+	n := int64(len(live))
+	return (wireTotal + n/2) / n
 }
 
 // injectFaults rolls the fault plan for the current step and accounts the
@@ -444,9 +639,9 @@ func (e *Engine) reduceShards(spans [][2]int, b int) []int64 {
 // (Retries plus that worker's sender share of every bucket), a straggler
 // holds the barrier for one round (Stalls). Under a hierarchical topology
 // the recovery traffic lands on the tier the worker sends on — intra for
-// node members, inter for node leaders. Values are never affected —
-// recovery is exact, which is what keeps faulty runs bit-identical to
-// clean ones.
+// node members, inter for node leaders. Recovery happens at the step
+// barrier, so it is always exposed. Values are never affected — recovery is
+// exact, which is what keeps faulty runs bit-identical to clean ones.
 func (e *Engine) injectFaults(payloads []int64) {
 	f := e.cfg.Faults
 	if !f.enabled() || len(e.replicas) == 1 {
@@ -466,7 +661,7 @@ func (e *Engine) injectFaults(payloads []int64) {
 				} else {
 					t.Intra.Retries = 1
 				}
-				e.recordTiers(t)
+				e.recordTiers(t, false)
 			} else {
 				var st CommStats
 				st.Retries = 1
@@ -475,7 +670,7 @@ func (e *Engine) injectFaults(payloads []int64) {
 					st.Messages += msgs
 					st.Bytes += bytes
 				}
-				e.record(st)
+				e.record(st, false)
 			}
 		}
 		if stall {
@@ -486,9 +681,9 @@ func (e *Engine) injectFaults(payloads []int64) {
 				} else {
 					t.Intra.Stalls = 1
 				}
-				e.recordTiers(t)
+				e.recordTiers(t, false)
 			} else {
-				e.record(CommStats{Stalls: 1})
+				e.record(CommStats{Stalls: 1}, false)
 			}
 		}
 	}
@@ -496,24 +691,28 @@ func (e *Engine) injectFaults(payloads []int64) {
 
 // BroadcastWeights resynchronizes every replica's parameters from the
 // master — the weight-distribution phase following the optimizer step —
-// and accounts the broadcast schedule per bucket.
-func (e *Engine) BroadcastWeights() {
+// and accounts the broadcast schedule per bucket. A worker failure
+// (architecture drift between replicas) is returned so the training loop
+// can abort the step cleanly instead of crashing the process.
+func (e *Engine) BroadcastWeights() error {
 	if err := e.dispatch(func(w int) job { return job{kind: jobSync} }); err != nil {
-		panic(err) // CopyWeightsFrom only fails on architecture drift
+		return err
 	}
 	for _, bucket := range e.buckets {
 		e.recordBroadcast(4 * int64(bucket[1]-bucket[0]))
 	}
+	return nil
 }
 
 // EvalAccuracy computes top-1 accuracy of the master weights over the
 // images, processed data-parallel in chunks of at most batch rows assigned
 // round-robin to the workers. The replicas must be weight-synchronized, so
-// every chunk's logits are identical whichever replica computes them.
-func (e *Engine) EvalAccuracy(images *tensor.Tensor, labels []int, batch int) float64 {
+// every chunk's logits are identical whichever replica computes them. A
+// worker failure (bad labels, shape drift) is returned as an error.
+func (e *Engine) EvalAccuracy(images *tensor.Tensor, labels []int, batch int) (float64, error) {
 	n := images.Shape[0]
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	if batch <= 0 || batch > n {
 		batch = n
@@ -534,11 +733,11 @@ func (e *Engine) EvalAccuracy(images *tensor.Tensor, labels []int, batch int) fl
 	if err := e.dispatch(func(w int) job {
 		return job{kind: jobEval, x: images, labels: labels, spans: spans, slots: slots[w]}
 	}); err != nil {
-		panic(err) // eval shares the forward path already validated in training
+		return 0, err
 	}
 	correct := 0
 	for _, c := range e.evalOK {
 		correct += c
 	}
-	return float64(correct) / float64(n)
+	return float64(correct) / float64(n), nil
 }

@@ -177,7 +177,9 @@ func TestStepStatsMatchExpected(t *testing.T) {
 			if _, err := e.ComputeGradient(x, labels); err != nil {
 				t.Fatal(err)
 			}
-			e.BroadcastWeights()
+			if err := e.BroadcastWeights(); err != nil {
+				t.Fatal(err)
+			}
 			got := e.StepStats()
 			e.Close()
 			if want := comm.ExpectedStats(algo, workers, payload); got != want {
@@ -206,7 +208,9 @@ func TestFaultInjectionRecoversDeterministically(t *testing.T) {
 			for _, p := range e.Master().Params() {
 				p.W.Axpy(-0.05, p.G)
 			}
-			e.BroadcastWeights()
+			if err := e.BroadcastWeights(); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return flatGrad(e), loss, e.Stats()
 	}
@@ -312,7 +316,9 @@ func TestOneBitCodecCompressesAndConverges(t *testing.T) {
 		for _, p := range e.Master().Params() {
 			p.W.Axpy(-0.1, p.G)
 		}
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			t.Fatal(err)
+		}
 		loss, err = e.ComputeGradient(x, labels)
 		if err != nil {
 			t.Fatal(err)
@@ -330,7 +336,10 @@ func TestEvalAccuracyDataParallel(t *testing.T) {
 	want := -1.0
 	for _, workers := range []int{1, 3} {
 		e := newEngine(dist.Config{}, workers, factory)
-		got := e.EvalAccuracy(x, labels, 32)
+		got, err := e.EvalAccuracy(x, labels, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
 		e.Close()
 		if want < 0 {
 			// Reference: direct forward on a fresh master-seeded net.
@@ -386,6 +395,144 @@ func TestUnevenShards(t *testing.T) {
 	}
 	if maxErr > 1e-6 {
 		t.Fatalf("uneven-shard gradient off by %v from full-batch reference", maxErr)
+	}
+}
+
+// TestUnevenBatchAcrossWorkerCounts: batches that divide neither the worker
+// count nor the shard count still satisfy the reproducibility contract —
+// with Shards pinned, every worker count produces the identical bits.
+func TestUnevenBatchAcrossWorkerCounts(t *testing.T) {
+	x, labels, factory := testTask(50) // 50 rows over 7 shards: 8/7/7/7/7/7/7
+	const shards = 7
+	var refGrad []float32
+	var refLoss float64
+	for _, workers := range []int{1, 3, 4} { // 50 % workers != 0 for 3 and 4
+		e := newEngine(dist.Config{Algo: dist.Ring, Shards: shards}, workers, factory)
+		loss, err := e.ComputeGradient(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := flatGrad(e)
+		e.Close()
+		if refGrad == nil {
+			refGrad, refLoss = grad, loss
+			continue
+		}
+		if loss != refLoss {
+			t.Fatalf("W=%d: loss %v differs bitwise from W=1's %v", workers, loss, refLoss)
+		}
+		for i := range grad {
+			if grad[i] != refGrad[i] {
+				t.Fatalf("W=%d: grad coord %d differs bitwise from W=1", workers, i)
+			}
+		}
+	}
+}
+
+// TestMoreShardsThanRows: a shard count exceeding the batch rows leaves the
+// surplus shards empty, and the result is bit-identical to the exact-fit
+// split (the same live shards reduce in the same canonical order).
+func TestMoreShardsThanRows(t *testing.T) {
+	x, labels, factory := testTask(5)
+	exact := newEngine(dist.Config{Shards: 5}, 4, factory)
+	wantLoss, err := exact.ComputeGradient(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatGrad(exact)
+	exact.Close()
+
+	padded := newEngine(dist.Config{Shards: 12}, 4, factory)
+	defer padded.Close()
+	gotLoss, err := padded.ComputeGradient(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flatGrad(padded)
+	if gotLoss != wantLoss {
+		t.Fatalf("empty shards changed the loss: %v vs %v", gotLoss, wantLoss)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("empty shards changed grad coord %d", i)
+		}
+	}
+}
+
+// unevenCodec is a test codec whose wire sizes differ per payload, to
+// exercise the non-uniform byte accounting: slot parity decides the size.
+type unevenCodec struct{}
+
+func (unevenCodec) Name() string { return "uneven" }
+func (unevenCodec) Transform(slot int, data []float32) int64 {
+	return int64(len(data) + slot%2) // odd slots report one extra wire byte
+}
+
+// TestCodecExactByteAccounting pins the codec accounting fix: with
+// non-uniform wire payloads the recorded Bytes must equal the schedule's
+// byte factor times the exact summed wire bytes over the mean (multiply
+// first, divide last) — not a truncated per-shard mean times the factor.
+func TestCodecExactByteAccounting(t *testing.T) {
+	x, labels, factory := testTask(60)
+	n := factory(1).NumParams()
+	for _, algo := range algorithms {
+		const workers, shards = 3, 3
+		e := newEngine(dist.Config{Algo: algo, Shards: shards, Codec: unevenCodec{}}, workers, factory)
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			t.Fatal(err)
+		}
+		got := e.StepStats()
+		e.Close()
+		// One bucket, three shards with wire sizes n, n+1, n (slots 0,1,2).
+		wireTotal := int64(3*n + 1)
+		var factor int64
+		switch algo {
+		case dist.Central, dist.Tree:
+			factor = workers - 1
+		case dist.Ring:
+			factor = 2 * (workers - 1)
+		}
+		if want := factor * wireTotal / shards; got.Bytes != want {
+			t.Errorf("%v: accounted %d bytes, want exact %d (factor %d x %d wire bytes / %d shards)",
+				algo, got.Bytes, want, factor, wireTotal, shards)
+		}
+	}
+}
+
+// sparseCodec reports wire bytes only for shard 0's payloads — the regime
+// where the old truncated per-shard mean (total/shards = 0) zeroed the
+// accounted bytes entirely.
+type sparseCodec struct{ buckets int }
+
+func (sparseCodec) Name() string { return "sparse" }
+func (c sparseCodec) Transform(slot int, data []float32) int64 {
+	if slot < c.buckets { // shard 0's slots
+		return 1
+	}
+	return 0
+}
+
+// TestTinyPayloadCodecBytesNonZero: one wire byte somewhere must never
+// account to zero schedule bytes. The old mean truncation (1/3 shards -> 0
+// bytes per bucket) lost it; multiply-first keeps the ring schedule's
+// 4x1/3 = 1 byte per bucket.
+func TestTinyPayloadCodecBytesNonZero(t *testing.T) {
+	x, labels, factory := testTask(60)
+	n := factory(1).NumParams()
+	buckets := 4
+	elems := (n + buckets - 1) / buckets
+	e := newEngine(dist.Config{Algo: dist.Ring, Shards: 3, BucketElems: elems, Codec: sparseCodec{buckets: buckets}}, 3, factory)
+	defer e.Close()
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	got := e.StepStats()
+	if got.Bytes == 0 {
+		t.Fatalf("codec wire bytes truncated to zero: %+v", got)
+	}
+	factor := int64(2 * (3 - 1)) // ring byte factor at P=3
+	if want := int64(buckets) * (factor * 1 / 3); got.Bytes != want {
+		t.Fatalf("accounted %d bytes, want %d (ring factor %d x 1 wire byte / 3 shards per bucket)", got.Bytes, want, factor)
 	}
 }
 

@@ -113,6 +113,20 @@ func hierBroadcastSchedule(h Hierarchy, payloadBytes int64) TierStats {
 	return TierStats{Intra: intra, Inter: broadcastSchedule(h.Inter, h.Nodes, payloadBytes)}
 }
 
+// HierReduceSchedule returns the closed-form per-tier schedule of one
+// hierarchical gradient reduction of a payloadBytes payload — exactly the
+// counters the engine records per bucket under a Topology. Pair with
+// HierBroadcastSchedule for a full hierarchical allreduce.
+func HierReduceSchedule(h Hierarchy, payloadBytes int64) TierStats {
+	return hierReduceSchedule(h, payloadBytes)
+}
+
+// HierBroadcastSchedule returns the closed-form per-tier schedule of one
+// hierarchical broadcast of a payloadBytes payload.
+func HierBroadcastSchedule(h Hierarchy, payloadBytes int64) TierStats {
+	return hierBroadcastSchedule(h, payloadBytes)
+}
+
 // hierSenderShare returns the tier-attributed resend traffic of worker w's
 // dropped reduction payload: a non-leader re-sends on its node's intra
 // fabric, a node leader re-sends its node sum on the inter fabric. The

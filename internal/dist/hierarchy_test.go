@@ -132,7 +132,9 @@ func TestEngineHierStepStatsMatchExpected(t *testing.T) {
 		if _, err := e.ComputeGradient(x, labels); err != nil {
 			t.Fatal(err)
 		}
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			t.Fatal(err)
+		}
 		tiers := e.StepTierStats()
 		step := e.StepStats()
 		e.Close()
@@ -200,7 +202,9 @@ func TestEngineTierTotalsMatchAggregate(t *testing.T) {
 		if _, err := e.ComputeGradient(x, labels); err != nil {
 			t.Fatal(err)
 		}
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			t.Fatal(err)
+		}
 		if got, want := e.StepTierStats().Total(), e.StepStats(); got != want {
 			t.Fatalf("step %d: tier total %+v != step stats %+v", step, got, want)
 		}
@@ -251,7 +255,9 @@ func TestEngineHierarchyFaultsRecoverExactly(t *testing.T) {
 			for _, p := range e.Master().Params() {
 				p.W.Axpy(-0.05, p.G)
 			}
-			e.BroadcastWeights()
+			if err := e.BroadcastWeights(); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return flatGrad(e), e.TierStats()
 	}

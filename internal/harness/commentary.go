@@ -37,6 +37,18 @@ func Commentary(markdown bool) string {
 	flatMS := 1e3 * comm.Intel10GbE.AllreduceTime(dist.Ring, 64, resnet.WeightBytes())
 	hierMS := 1e3 * comm.HierarchicalAllreduceTime(cluster.NVLinkHybrid, comm.Intel10GbE, h, resnet.WeightBytes())
 
+	// Overlap pricing: the paper's 512-KNL ResNet-50 row with bucket
+	// reductions pipelined against the backward pass, versus serial
+	// communication and versus the old half-compute heuristic.
+	knl := cluster.KNLCluster(512)
+	plain := cluster.Simulate(knl, resnet, 32768, 90, 1280000)
+	knl.Overlap = true
+	over := cluster.Simulate(knl, resnet, 32768, 90, 1280000)
+	oldBound := plain.CommSec - plain.CompSec/2
+	if oldBound < 0 {
+		oldBound = 0
+	}
+
 	var b strings.Builder
 	if markdown {
 		b.WriteString("## Commentary — residuals vs the paper's communication tables\n\n")
@@ -61,14 +73,30 @@ device/model family against published anchors, and the anchor tests
 accept a 0.55-1.6x band — see the simulated sections above for the
 per-row numbers.
 
-Two-tier composition, new in this revision, prices what the paper's
-fastest clusters actually do (reduce inside the node before touching the
-cluster fabric): one ResNet-50 allreduce over 64 workers costs %.1f ms
-as a flat 10GbE ring but %.1f ms as 8 nodes of 8 with an NVLink-class
-intra tier — the inter fabric then only carries the 8-leader exchange.
-The paper reports no per-tier breakdown to diff against; the closed
-forms are instead cross-checked against the executing engine, which is
-the stronger check available in a reproduction.
-`, iters4096, float64(volSmall)/float64(volLarge), flatMS, hierMS)
+Two-tier composition prices what the paper's fastest clusters actually
+do (reduce inside the node before touching the cluster fabric): one
+ResNet-50 allreduce over 64 workers costs %.1f ms as a flat 10GbE ring
+but %.1f ms as 8 nodes of 8 with an NVLink-class intra tier — the inter
+fabric then only carries the 8-leader exchange. The paper reports no
+per-tier breakdown to diff against; the closed forms are instead
+cross-checked against the executing engine, which is the stronger check
+available in a reproduction.
+
+Overlap, new in this revision, moves the minutes-scale claim from
+"communication is small" to "communication is hidden": the engine fires
+each bucket's reduction the moment its layers' gradients are final on
+every shard, while earlier layers are still back-propagating, and the
+Overlap study shows the measured hidden/exposed split matching
+comm.ExpectedOverlapStats counter-for-counter. Only the bucket covering
+the first layers — ready exactly when the backward ends — plus weight
+broadcasts and recovery traffic stay exposed. Priced on the paper's
+512-KNL ResNet-50 row (B=32K), the serial allreduce costs %.1f ms per
+iteration; the old max(0, t_comm − t_comp/2) heuristic called %.1f ms
+of it exposed, while the bucket-level pipeline exposes %.1f ms —
+never more than the old bound when that bound is positive, and honest
+about the unhideable tail (the old heuristic rounded it to zero) when
+it is not.
+`, iters4096, float64(volSmall)/float64(volLarge), flatMS, hierMS,
+		1e3*plain.CommSec, 1e3*oldBound, 1e3*over.CommSec)
 	return b.String()
 }

@@ -53,7 +53,10 @@ func AllreduceStudy(s *Setup, workers int) (*Table, error) {
 			e.Close()
 			return nil, err
 		}
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			e.Close()
+			return nil, err
+		}
 		step := e.StepStats()
 		e.Close()
 		model := comm.ExpectedStats(algo, workers, weightBytes)
@@ -70,7 +73,10 @@ func AllreduceStudy(s *Setup, workers int) (*Table, error) {
 			e.Close()
 			return nil, err
 		}
-		e.BroadcastWeights()
+		if err := e.BroadcastWeights(); err != nil {
+			e.Close()
+			return nil, err
+		}
 		tiers := e.StepTierStats()
 		e.Close()
 		model := comm.ExpectedTierStats(h, weightBytes)

@@ -62,6 +62,12 @@ type Layer interface {
 type Network struct {
 	name   string
 	Layers []Layer
+
+	// gradNotify, when set, is invoked during Backward as parameter
+	// gradients become final (see SetGradNotify). notifyBase caches the
+	// starting Params() index of each layer for the callback.
+	gradNotify func(param int)
+	notifyBase []int
 }
 
 // NewNetwork builds a sequential network.
@@ -83,12 +89,45 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
-// Backward runs all layers in reverse order.
+// Backward runs all layers in reverse order. When a gradient-ready callback
+// is registered (SetGradNotify), it fires for each parameter as soon as the
+// owning layer's backward completes — the hook distributed engines use to
+// overlap gradient reduction with the rest of the backward pass.
 func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if n.gradNotify == nil {
+		for i := len(n.Layers) - 1; i >= 0; i-- {
+			dout = n.Layers[i].Backward(dout)
+		}
+		return dout
+	}
+	if len(n.notifyBase) != len(n.Layers)+1 {
+		n.notifyBase = make([]int, len(n.Layers)+1)
+		for i, l := range n.Layers {
+			n.notifyBase[i+1] = n.notifyBase[i] + len(l.Params())
+		}
+	}
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dout = n.Layers[i].Backward(dout)
+		// Parameters land in reverse Params() order: the network's last
+		// parameter is ready first, parameter 0 last.
+		for p := n.notifyBase[i+1] - 1; p >= n.notifyBase[i]; p-- {
+			n.gradNotify(p)
+		}
 	}
 	return dout
+}
+
+// SetGradNotify registers fn to be called during every Backward as parameter
+// gradients become final, with the parameter's index in Params() order. A
+// layer's parameters are reported (highest index first) immediately after
+// that layer's Backward returns — while earlier layers are still
+// back-propagating — which is the moment a data-parallel engine can start
+// reducing them. Because gradients accumulate into Param.G, "final" means
+// final for the current Backward call: callers accumulating over
+// micro-batches see one notification per call. nil unregisters the hook.
+func (n *Network) SetGradNotify(fn func(param int)) {
+	n.gradNotify = fn
+	n.notifyBase = nil
 }
 
 // Params returns the parameters of all layers in order.

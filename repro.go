@@ -171,8 +171,9 @@ func LinearScalingRule(baseLR float64, baseBatch, batch int) float64 {
 type (
 	// Engine drives synchronous data-parallel SGD over worker replicas:
 	// W lockstep goroutine workers, shard forward/backward, bucketed
-	// gradient allreduce under a chosen topology, weight broadcast,
-	// optional payload compression and deterministic fault injection.
+	// gradient allreduce under a chosen topology (optionally overlapped
+	// with the backward pass), weight broadcast, optional payload
+	// compression and deterministic fault injection.
 	Engine = dist.Engine
 	// EngineConfig configures the engine (topology, logical shards,
 	// bucket size, codec, fault plan).
@@ -187,6 +188,10 @@ type (
 	Hierarchy = dist.Hierarchy
 	// TierStats splits a hierarchical schedule's counters by fabric tier.
 	TierStats = dist.TierStats
+	// OverlapStats splits a step's communication into the part hidden
+	// behind the backward pass and the exposed remainder (see
+	// EngineConfig's Overlap field).
+	OverlapStats = dist.OverlapStats
 	// FaultPlan injects deterministic drops/stalls into the engine's
 	// reduction schedule; recovery is exact.
 	FaultPlan = dist.FaultPlan
