@@ -24,12 +24,24 @@
 //	simulate -model resnet50 -batch 8192 -nodes 32 -machine p100 \
 //	         -per-node 8 -intra-network nvlink -intra-algo ring \
 //	         -network fdr -algo tree
+//
+// -evict prices a degrading (preemptible) fleet: each comma-separated
+// fraction loses one device at that share of the run's iterations, the
+// survivors absorb the work (the engine's elastic membership at cluster
+// scale), and the report adds an eviction timeline — per-phase world size,
+// iteration cost and throughput — plus the time-to-accuracy cost versus
+// the healthy fleet. Losing a quarter and half way through a 64-node run:
+//
+//	simulate -model resnet50 -batch 32768 -nodes 64 -machine knl \
+//	         -epochs 90 -evict 0.25,0.5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/comm"
@@ -53,6 +65,7 @@ func main() {
 		overlap  = flag.Bool("overlap", false, "overlap bucket allreduces with the backward pass (bucket-level pipeline model)")
 		obuckets = flag.Int("overlap-buckets", 0, "gradient buckets for the overlap pipeline (0 = default 16)")
 		sweep    = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
+		evict    = flag.String("evict", "", "degrading fleet: comma-separated run fractions, one device lost at each (e.g. \"0.25,0.5\")")
 		perNode  = flag.Int("per-node", 0, "devices per node for two-tier hierarchical pricing (0 = flat; must divide -nodes)")
 		intraNet = flag.String("intra-network", "nvlink", "within-node fabric when -per-node is set: fdr | qdr | 10gbe | opa | nvlink")
 		intraAlg = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
@@ -120,7 +133,7 @@ func main() {
 	net := parseNet(*network)
 	a := parseAlgo(*algo)
 
-	run := func(n int) cluster.Estimate {
+	buildCluster := func(n int) cluster.Cluster {
 		c := cluster.Cluster{Machine: m, Count: n, Network: net, Algo: a, Overlap: *overlap, OverlapBuckets: *obuckets}
 		if *perNode > 0 {
 			if n%*perNode != 0 {
@@ -130,9 +143,15 @@ func main() {
 			c.IntraNetwork = parseNet(*intraNet)
 			c.IntraAlgo = parseAlgo(*intraAlg)
 		}
-		return cluster.Simulate(c, spec, *batch, *epochs, *dataset)
+		return c
+	}
+	run := func(n int) cluster.Estimate {
+		return cluster.Simulate(buildCluster(n), spec, *batch, *epochs, *dataset)
 	}
 
+	if *sweep && *evict != "" {
+		log.Fatal("-evict is not supported with -sweep")
+	}
 	if *sweep {
 		fmt.Printf("%-8s %-12s %-12s %-12s %-12s %-14s %-10s\n", "nodes", "comp/iter", "comm/iter", "total", "img/s", "msgs/iter", "rounds")
 		for n := *nodes; n <= 16**nodes && n <= *batch; n *= 2 {
@@ -185,4 +204,29 @@ func main() {
 	}
 	fmt.Printf("throughput:  %.0f images/sec\n", e.ImagesSec)
 	fmt.Printf("total:       %s\n", e.Duration().Round(1e9))
+
+	if *evict != "" {
+		var fracs []float64
+		for _, s := range strings.Split(*evict, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || f < 0 || f > 1 {
+				log.Fatalf("bad -evict fraction %q: want numbers in [0,1]", s)
+			}
+			fracs = append(fracs, f)
+		}
+		if len(fracs) >= *nodes {
+			log.Fatalf("-evict loses %d devices, fleet has %d", len(fracs), *nodes)
+		}
+		el := cluster.SimulateElastic(buildCluster(*nodes), spec, *batch, *epochs, *dataset, fracs)
+		fmt.Printf("\neviction timeline (%d devices lost; fixed %d-epoch budget, serial communication):\n", len(fracs), *epochs)
+		fmt.Printf("  %-8s %-12s %-12s %-12s %-12s\n", "world", "iterations", "comp/iter", "comm/iter", "img/s")
+		for _, p := range el.Phases {
+			fmt.Printf("  %-8d %-12d %-12s %-12s %-12.0f\n",
+				p.Devices, p.Iterations,
+				fmt.Sprintf("%.4fs", p.CompSec), fmt.Sprintf("%.4fs", p.CommSec), p.ImagesSec)
+		}
+		fmt.Printf("  healthy fleet:  %s (%.0f img/s)\n", el.Healthy.Duration().Round(1e9), el.Healthy.ImagesSec)
+		fmt.Printf("  degraded fleet: %s (%.0f img/s avg), time-to-accuracy +%.1f%%\n",
+			el.Duration().Round(1e9), el.ImagesSec, el.SlowdownPct())
+	}
 }

@@ -43,6 +43,23 @@
 // stragglers at the given per-(step,worker) probability; recovery is exact
 // (values unaffected, retries and stalls accounted).
 //
+// # Elastic membership (preemptible fleets)
+//
+// -fault-dead kills workers permanently: "3@40" makes worker 3 answer
+// nothing from step 40 on (comma-separate for several, e.g. "2@40,3@40").
+// A dead worker cannot be recovered, so by default the run aborts with a
+// typed worker-dead error when the death bites. -elastic instead turns on
+// elastic membership: after -evict-after consecutive failed recoveries the
+// engine evicts the dead worker, rebalances the logical shard spans over
+// the surviving P−1 workers, shrinks the topology (a hierarchy node losing
+// all its workers leaves the inter tier), re-broadcasts the weights, and
+// keeps training in lockstep at the smaller world size. The final report
+// then adds a membership line: evictions, rebalanced shards, resync bytes,
+// and the steps spent at each world size. Given the same fault plan and
+// policy the degrading run is bit-identical across -algo choices, and every
+// post-eviction step is bit-identical to a fresh run at the smaller world
+// started from the rebalanced weights.
+//
 // # Worked examples
 //
 // The paper's recipe at batch 1024 on 4 workers with ring allreduce,
@@ -65,6 +82,14 @@
 //
 //	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
 //	      -warmup 2 -workers 4 -algo ring -bucket 4096 -overlap
+//
+// A preemptible fleet: worker 3 is reclaimed at step 40, declared dead
+// after 3 missed recoveries, and evicted; the run finishes on the three
+// survivors and reports the world-size timeline:
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -algo ring -fault-dead 3@40 \
+//	      -elastic -evict-after 3
 package main
 
 import (
@@ -73,6 +98,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -86,32 +112,35 @@ func main() {
 	log.SetPrefix("train: ")
 
 	var (
-		modelName = flag.String("model", "micro-alexnet", "model: micro-alexnet | micro-alexnet-lrn | micro-resnet | mlp")
-		batch     = flag.Int("batch", 32, "global batch size")
-		epochs    = flag.Int("epochs", 15, "fixed epoch budget")
-		method    = flag.String("method", "lars", "recipe: sgd | linear | lars")
-		baseLR    = flag.Float64("base-lr", 0.05, "learning rate at the base batch")
-		baseBatch = flag.Int("base-batch", 32, "reference batch for linear scaling")
-		warmup    = flag.Float64("warmup", 2, "warmup epochs (linear/lars)")
-		trust     = flag.Float64("trust", 0.01, "LARS trust coefficient")
-		wd        = flag.Float64("wd", 0.0005, "weight decay")
-		workers   = flag.Int("workers", 2, "data-parallel workers")
-		algo      = flag.String("algo", "ring", "allreduce topology: central | tree | ring (cross-node tier when -per-node is set)")
-		perNode   = flag.Int("per-node", 0, "workers per node for the two-tier hierarchical allreduce (0 = flat; must divide -workers)")
-		intraAlgo = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
-		shards    = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
-		bucket    = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
-		overlap   = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
-		codec     = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
-		dropRate  = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
-		stallRate = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
-		width     = flag.Int("width", 8, "model base width")
-		augment   = flag.Bool("augment", false, "enable weak data augmentation")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		trainSize = flag.Int("train-size", 4096, "synthetic training set size")
-		classes   = flag.Int("classes", 8, "synthetic class count")
-		imageSize = flag.Int("image-size", 24, "synthetic image height/width")
-		quiet     = flag.Bool("quiet", false, "print only the final summary line")
+		modelName  = flag.String("model", "micro-alexnet", "model: micro-alexnet | micro-alexnet-lrn | micro-resnet | mlp")
+		batch      = flag.Int("batch", 32, "global batch size")
+		epochs     = flag.Int("epochs", 15, "fixed epoch budget")
+		method     = flag.String("method", "lars", "recipe: sgd | linear | lars")
+		baseLR     = flag.Float64("base-lr", 0.05, "learning rate at the base batch")
+		baseBatch  = flag.Int("base-batch", 32, "reference batch for linear scaling")
+		warmup     = flag.Float64("warmup", 2, "warmup epochs (linear/lars)")
+		trust      = flag.Float64("trust", 0.01, "LARS trust coefficient")
+		wd         = flag.Float64("wd", 0.0005, "weight decay")
+		workers    = flag.Int("workers", 2, "data-parallel workers")
+		algo       = flag.String("algo", "ring", "allreduce topology: central | tree | ring (cross-node tier when -per-node is set)")
+		perNode    = flag.Int("per-node", 0, "workers per node for the two-tier hierarchical allreduce (0 = flat; must divide -workers)")
+		intraAlgo  = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
+		shards     = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
+		bucket     = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
+		overlap    = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
+		codec      = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
+		dropRate   = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
+		stallRate  = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
+		faultDead  = flag.String("fault-dead", "", "permanently kill workers: \"w@step\" pairs, comma-separated (e.g. \"3@40,2@60\")")
+		elastic    = flag.Bool("elastic", false, "evict persistently dead workers and continue on the survivors (elastic membership)")
+		evictAfter = flag.Int("evict-after", 0, "consecutive failed recoveries before eviction (0 = default 3; needs -elastic)")
+		width      = flag.Int("width", 8, "model base width")
+		augment    = flag.Bool("augment", false, "enable weak data augmentation")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		trainSize  = flag.Int("train-size", 4096, "synthetic training set size")
+		classes    = flag.Int("classes", 8, "synthetic class count")
+		imageSize  = flag.Int("image-size", 24, "synthetic image height/width")
+		quiet      = flag.Bool("quiet", false, "print only the final summary line")
 	)
 	flag.Parse()
 
@@ -194,9 +223,30 @@ func main() {
 		log.Fatalf("unknown codec %q", *codec)
 	}
 
+	var dead map[int]int64
+	if *faultDead != "" {
+		dead = make(map[int]int64)
+		for _, spec := range strings.Split(*faultDead, ",") {
+			var w int
+			var step int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(spec), "%d@%d", &w, &step); err != nil {
+				log.Fatalf("bad -fault-dead entry %q: want \"worker@step\"", spec)
+			}
+			if w <= 0 || w >= *workers {
+				log.Fatalf("-fault-dead worker %d out of range (1..%d; the master cannot die)", w, *workers-1)
+			}
+			dead[w] = step
+		}
+	}
 	var faults *dist.FaultPlan
-	if *dropRate > 0 || *stallRate > 0 {
-		faults = &dist.FaultPlan{Seed: *seed, DropRate: *dropRate, StallRate: *stallRate}
+	if *dropRate > 0 || *stallRate > 0 || dead != nil {
+		faults = &dist.FaultPlan{Seed: *seed, DropRate: *dropRate, StallRate: *stallRate, Dead: dead}
+	}
+	var policy *dist.Elastic
+	if *elastic {
+		policy = &dist.Elastic{EvictAfter: *evictAfter}
+	} else if *evictAfter != 0 {
+		log.Fatal("-evict-after needs -elastic")
 	}
 
 	cfg := core.Config{
@@ -209,6 +259,7 @@ func main() {
 		Overlap:      *overlap,
 		Codec:        payloadCodec,
 		Faults:       faults,
+		Elastic:      policy,
 		Batch:        *batch,
 		Epochs:       *epochs,
 		Method:       m,
@@ -255,6 +306,11 @@ func main() {
 			res.Overlap.HiddenRounds, res.Overlap.ExposedRounds,
 			res.Overlap.HiddenBytes, res.Overlap.ExposedBytes,
 			100*res.Overlap.HiddenByteFrac())
+	}
+	if *elastic {
+		fmt.Printf("membership: evictions=%d rebalanced_shards=%d resync_bytes=%d world_timeline=%s\n",
+			res.Membership.Evictions, res.Membership.RebalancedShards,
+			res.Membership.RebalancedBytes, res.Membership.Timeline())
 	}
 	if res.Diverged {
 		os.Exit(2)

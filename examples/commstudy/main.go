@@ -184,6 +184,53 @@ func main() {
 		fmt.Printf("  NVLink-intra + FDR-inter %.1fms serial -> %.1fms exposed (inter exchange of bucket k rides the intra reduce of bucket k+1)\n", 1e3*hserial, 1e3*hexposed)
 	}
 
+	fmt.Println("\n== Elastic membership: evicting a dead worker mid-run ==")
+	// Preemptible fleets lose nodes for good. With Config.Elastic the
+	// engine evicts a worker whose recovery keeps failing, rebalances the
+	// shard spans over the survivors, re-broadcasts the weights, and keeps
+	// training at P-1 — with every post-eviction step's schedule matching
+	// the closed form of a fresh smaller fleet (ExpectedStatsAt).
+	{
+		const workers = 4
+		replicas := make([]*nn.Network, workers)
+		for i := range replicas {
+			replicas[i] = factory(uint64(i) + 1)
+		}
+		payload := int64(4 * replicas[0].NumParams())
+		e := dist.NewEngine(dist.Config{
+			Algo:    dist.Ring,
+			Faults:  &dist.FaultPlan{Dead: map[int]int64{3: 2}}, // worker 3 reclaimed at step 2
+			Elastic: &dist.Elastic{EvictAfter: 2},               // declared dead after 2 missed recoveries
+		}, replicas)
+		fmt.Printf("  %-6s %-7s %-9s %-9s %-9s %s\n", "step", "world", "rounds", "retries", "bytes", "event")
+		for step := 0; step < 6; step++ {
+			before := e.LiveWorkers()
+			if _, err := e.ComputeGradient(x, labels); err != nil {
+				panic(err)
+			}
+			if err := e.BroadcastWeights(); err != nil {
+				panic(err)
+			}
+			s := e.StepStats()
+			event := ""
+			switch {
+			case e.LiveWorkers() < before:
+				event = "worker 3 evicted; shards rebalanced, weights re-broadcast"
+			case s.Retries > 0:
+				event = "worker 3 unreachable: survivor recomputed its shards"
+			}
+			fmt.Printf("  %-6d %-7d %-9d %-9d %-9d %s\n", step, before, s.Steps, s.Retries, s.Bytes, event)
+		}
+		m := e.Membership()
+		post := e.StepStats()
+		model := comm.ExpectedStatsAt(dist.Ring, workers, int(m.Evictions), payload)
+		fmt.Printf("  timeline %s: %d eviction, %d shard(s) rebalanced, %d resync bytes\n",
+			m.Timeline(), m.Evictions, m.RebalancedShards, m.RebalancedBytes)
+		fmt.Printf("  post-eviction step == comm.ExpectedStatsAt(ring, P=%d, evicted=%d): %v\n",
+			workers, m.Evictions, post == model)
+		e.Close()
+	}
+
 	fmt.Println("\n== Table 12: energy — data movement dwarfs arithmetic ==")
 	for _, op := range comm.Table12() {
 		fmt.Printf("  %-26s %-13s %6.1f pJ\n", op.Name, op.Kind, op.PJ)

@@ -401,3 +401,84 @@ func TestHierarchyIndivisiblePanics(t *testing.T) {
 	c.PerNode = 4
 	c.Hierarchy()
 }
+
+// TestSimulateElasticHealthyFleet: with no evictions the elastic simulator
+// reduces to one phase matching the plain (serial-communication) estimate.
+func TestSimulateElasticHealthyFleet(t *testing.T) {
+	c := KNLCluster(64)
+	spec := models.ResNet50Spec()
+	e := SimulateElastic(c, spec, 8192, 90, imagenetSize, nil)
+	if len(e.Phases) != 1 {
+		t.Fatalf("healthy run priced %d phases, want 1", len(e.Phases))
+	}
+	if e.Phases[0].Devices != 64 || e.Phases[0].Iterations != e.Healthy.Iterations {
+		t.Fatalf("phase %+v does not cover the whole run at full strength", e.Phases[0])
+	}
+	if math.Abs(e.TotalSec-e.Healthy.TotalSec) > 1e-9*e.Healthy.TotalSec {
+		t.Fatalf("healthy elastic total %.2fs != plain estimate %.2fs", e.TotalSec, e.Healthy.TotalSec)
+	}
+	if e.SlowdownPct() > 1e-9 {
+		t.Fatalf("healthy run reports %.2f%% slowdown", e.SlowdownPct())
+	}
+}
+
+// TestSimulateElasticDegradedRunSlower: losing devices mid-run costs wall
+// clock (time-to-accuracy grows) and the phase timeline is consistent —
+// iterations sum to the budget, worlds shrink by one per eviction,
+// per-iteration time never improves as the fleet shrinks.
+func TestSimulateElasticDegradedRunSlower(t *testing.T) {
+	c := KNLCluster(64)
+	spec := models.ResNet50Spec()
+	e := SimulateElastic(c, spec, 8192, 90, imagenetSize, []float64{0.25, 0.5})
+	if len(e.Phases) != 3 {
+		t.Fatalf("2 evictions priced %d phases, want 3", len(e.Phases))
+	}
+	var iters int64
+	for i, p := range e.Phases {
+		iters += p.Iterations
+		if want := 64 - i; p.Devices != want {
+			t.Fatalf("phase %d at %d devices, want %d", i, p.Devices, want)
+		}
+		if i > 0 && p.IterSec() < e.Phases[i-1].IterSec() {
+			t.Fatalf("phase %d got faster per iteration after losing a device: %v < %v",
+				i, p.IterSec(), e.Phases[i-1].IterSec())
+		}
+	}
+	if iters != e.Healthy.Iterations {
+		t.Fatalf("phase iterations sum to %d, want the fixed budget %d", iters, e.Healthy.Iterations)
+	}
+	if e.TotalSec <= e.Healthy.TotalSec {
+		t.Fatalf("degraded run %.2fs not slower than healthy %.2fs", e.TotalSec, e.Healthy.TotalSec)
+	}
+	if e.ImagesSec >= e.Healthy.ImagesSec {
+		t.Fatalf("degraded throughput %.0f img/s not below healthy %.0f", e.ImagesSec, e.Healthy.ImagesSec)
+	}
+}
+
+// TestSimulateElasticHierarchicalNodeDrain: draining a whole chassis from a
+// DGX pod removes its node from the inter tier; the degraded phase is still
+// cheaper in communication than pricing the same world flat on the cluster
+// fabric.
+func TestSimulateElasticHierarchicalNodeDrain(t *testing.T) {
+	c := DGXPod(4) // 32 devices in 4 nodes of 8
+	spec := models.ResNet50Spec()
+	evict := make([]float64, 8) // lose all of the last chassis at half-time
+	for i := range evict {
+		evict[i] = 0.5
+	}
+	e := SimulateElastic(c, spec, 8192, 90, imagenetSize, evict)
+	last := e.Phases[len(e.Phases)-1]
+	if last.Devices != 24 {
+		t.Fatalf("final world %d, want 24 (one chassis drained)", last.Devices)
+	}
+	want := comm.DegradedHierarchicalAllreduceTime(c.IntraNetwork, c.Network,
+		dist.Hierarchy{Nodes: 4, PerNode: 8, Intra: c.IntraAlgo, Inter: c.Algo},
+		[]int{8, 8, 8}, spec.WeightBytes())
+	if math.Abs(last.CommSec-want) > 1e-12 {
+		t.Fatalf("drained-chassis comm %.6fs, want degraded three-node price %.6fs", last.CommSec, want)
+	}
+	flat := c.Network.AllreduceTime(c.Algo, 24, spec.WeightBytes())
+	if last.CommSec >= flat {
+		t.Fatalf("hierarchical degraded comm %.6fs not cheaper than flat %.6fs on the cluster fabric", last.CommSec, flat)
+	}
+}

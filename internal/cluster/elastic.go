@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/models"
+)
+
+// ElasticPhase is one constant-world segment of a degrading run: the fleet
+// held Devices live devices for Iterations iterations at the given
+// per-iteration cost.
+type ElasticPhase struct {
+	Devices    int
+	Iterations int64
+	CompSec    float64 // per-iteration computation at this world size
+	CommSec    float64 // per-iteration communication at this world size
+	ImagesSec  float64 // sustained throughput during the phase
+}
+
+// IterSec returns the phase's per-iteration time.
+func (p ElasticPhase) IterSec() float64 { return p.CompSec + p.CommSec }
+
+// ElasticEstimate prices a fixed-epoch run whose fleet shrinks
+// mid-training — the simulator twin of the engine's elastic membership.
+// The epoch budget (and with it the optimizer trajectory, hence the
+// accuracy) is unchanged by evictions; what degrades is the wall clock, so
+// TotalSec versus Healthy.TotalSec is the time-to-accuracy cost of running
+// on a shrinking world.
+type ElasticEstimate struct {
+	// Healthy is the same configuration priced with the fleet intact.
+	Healthy Estimate
+	// Phases is the world-size timeline, full fleet first.
+	Phases []ElasticPhase
+	// TotalSec is the degraded run's wall clock; ImagesSec its average
+	// sustained throughput.
+	TotalSec  float64
+	ImagesSec float64
+}
+
+// Duration returns the degraded total time as a time.Duration.
+func (e ElasticEstimate) Duration() time.Duration {
+	return time.Duration(e.TotalSec * float64(time.Second))
+}
+
+// SlowdownPct returns how much slower the degraded run is than the healthy
+// fleet, in percent.
+func (e ElasticEstimate) SlowdownPct() float64 {
+	if e.Healthy.TotalSec == 0 {
+		return 0
+	}
+	return 100 * (e.TotalSec - e.Healthy.TotalSec) / e.Healthy.TotalSec
+}
+
+// SimulateElastic prices one fixed-epoch training run of spec on c during
+// which the fleet degrades: each entry of evictAtFrac is the fraction of
+// total iterations completed when one device is permanently lost and
+// evicted (the engine's Elastic policy at cluster scale). The global batch
+// and iteration count stay fixed — the survivors absorb the work — so each
+// post-eviction phase pays a larger local batch and a (slightly) cheaper
+// collective. Hierarchical clusters (PerNode > 1) lose devices from the
+// last node first, the node emptying out of the inter tier exactly as the
+// engine's membership machine shrinks it. Communication is priced serially
+// (the overlap pipeline is a healthy-fleet refinement; Overlap is ignored
+// here), and the phase boundaries round down to whole iterations.
+func SimulateElastic(c Cluster, spec *models.ModelSpec, batch, epochs, datasetSize int, evictAtFrac []float64) ElasticEstimate {
+	c.Overlap = false
+	out := ElasticEstimate{Healthy: Simulate(c, spec, batch, epochs, datasetSize)}
+	if out.Healthy.OOM {
+		return out
+	}
+	if len(evictAtFrac) >= c.Count {
+		panic(fmt.Sprintf("cluster: cannot evict %d of %d devices", len(evictAtFrac), c.Count))
+	}
+	fracs := append([]float64(nil), evictAtFrac...)
+	sort.Float64s(fracs)
+	total := out.Healthy.Iterations
+
+	// Phase boundaries in iterations; clamp and deduplicate implicitly by
+	// allowing zero-length phases to drop out.
+	start, world := int64(0), c.Count
+	addPhase := func(end int64) {
+		if end <= start {
+			return
+		}
+		comp, commSec := phaseCost(c, spec, batch, world)
+		iterSec := comp + commSec
+		out.Phases = append(out.Phases, ElasticPhase{
+			Devices: world, Iterations: end - start,
+			CompSec: comp, CommSec: commSec,
+			ImagesSec: float64(batch) / iterSec,
+		})
+		out.TotalSec += float64(end-start) * iterSec
+		start = end
+	}
+	for _, f := range fracs {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		addPhase(int64(f * float64(total)))
+		world--
+	}
+	addPhase(total)
+	out.ImagesSec = float64(batch) * float64(total) / out.TotalSec
+	return out
+}
+
+// phaseCost returns the per-iteration compute and (serial) communication
+// cost of the configuration at the given live device count.
+func phaseCost(c Cluster, spec *models.ModelSpec, batch, world int) (compSec, commSec float64) {
+	localBatch := (batch + world - 1) / world
+	micro := localBatch
+	if fit := MaxBatch(c.Machine, spec); micro > fit {
+		micro = fit
+	}
+	prof := c.Machine.ProfileFor(spec.Name)
+	eff := prof.Efficiency(float64(micro))
+	compSec = float64(localBatch) * float64(spec.TrainFLOPsPerImage()) / (c.Machine.PeakFLOPS * eff)
+	if h, hier := c.Hierarchy(); hier {
+		commSec = comm.DegradedHierarchicalAllreduceTime(c.IntraNetwork, c.Network, h,
+			degradedNodeSizes(h.Nodes, h.PerNode, world), spec.WeightBytes())
+	} else {
+		commSec = c.Network.AllreduceTime(c.Algo, world, spec.WeightBytes())
+	}
+	return compSec, commSec
+}
+
+// degradedNodeSizes distributes world live devices over nodes of perNode,
+// filling from the front — equivalent to evicting devices from the last
+// node first, so nodes empty (and leave the inter tier) one at a time.
+func degradedNodeSizes(nodes, perNode, world int) []int {
+	var sizes []int
+	for i := 0; i < nodes && world > 0; i++ {
+		s := perNode
+		if s > world {
+			s = world
+		}
+		sizes = append(sizes, s)
+		world -= s
+	}
+	return sizes
+}

@@ -1,0 +1,49 @@
+package comm
+
+import "repro/internal/dist"
+
+// ExpectedStatsAt returns the closed-form dist.CommStats of one full
+// allreduce (gradient sum + weight broadcast) after `evicted` workers have
+// left a flat p-worker collective: the post-eviction schedule is exactly
+// the full-strength schedule at world size p−evicted, which is the analytic
+// twin of what the engine records once elastic membership shrinks the
+// fleet (cross-checked in tests). It complements ExpectedStats the way the
+// engine's eviction complements its construction: pure schedule surgery,
+// no change to the reduced values.
+func ExpectedStatsAt(algo dist.Algorithm, p, evicted int, payloadBytes int64) dist.CommStats {
+	world := p - evicted
+	if world < 1 {
+		world = 1
+	}
+	return ExpectedStats(algo, world, payloadBytes)
+}
+
+// ExpectedDegradedTierStats returns the closed-form per-tier schedule of
+// one full hierarchical allreduce over a degraded fleet, sizes listing the
+// live-worker count of every surviving (non-empty) node: concurrent
+// intra-node phases sized by each node's survivors (latency rounds are the
+// slowest node's), and an inter tier among the len(sizes) surviving
+// leaders — a node that lost all its workers has left the leader exchange.
+// With a full fleet (h.Nodes entries of h.PerNode) this is exactly
+// ExpectedTierStats; after evictions it is the analytic twin of the
+// engine's degraded counters (cross-checked in tests).
+func ExpectedDegradedTierStats(h dist.Hierarchy, sizes []int, payloadBytes int64) dist.TierStats {
+	t := dist.DegradedHierReduceSchedule(h, sizes, payloadBytes)
+	t.Add(dist.DegradedHierBroadcastSchedule(h, sizes, payloadBytes))
+	return t
+}
+
+// DegradedHierarchicalAllreduceTime prices one two-tier allreduce over a
+// degraded fleet: the slowest surviving node's intra phase (nodes run
+// concurrently on disjoint fabrics, so the largest one paces the tier)
+// plus the leader exchange among the surviving nodes. With a full fleet it
+// equals HierarchicalAllreduceTime.
+func DegradedHierarchicalAllreduceTime(intra, inter Network, h dist.Hierarchy, sizes []int, bytes int64) float64 {
+	largest := 0
+	for _, p := range sizes {
+		if p > largest {
+			largest = p
+		}
+	}
+	return intra.AllreduceTime(h.Intra, largest, bytes) + inter.AllreduceTime(h.Inter, len(sizes), bytes)
+}

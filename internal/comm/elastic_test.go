@@ -1,0 +1,79 @@
+package comm_test
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+)
+
+// TestExpectedStatsAtIsSmallerWorld: the post-eviction closed form is the
+// full-strength closed form at the shrunken world size, floored at one
+// worker (no communication).
+func TestExpectedStatsAtIsSmallerWorld(t *testing.T) {
+	const payload = 1 << 20
+	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+		for p := 2; p <= 8; p++ {
+			for evicted := 0; evicted < p; evicted++ {
+				got := comm.ExpectedStatsAt(algo, p, evicted, payload)
+				want := comm.ExpectedStats(algo, p-evicted, payload)
+				if got != want {
+					t.Fatalf("%v P=%d evicted=%d: %+v, want %+v", algo, p, evicted, got, want)
+				}
+			}
+		}
+		if got := comm.ExpectedStatsAt(algo, 4, 7, payload); got != (dist.CommStats{}) {
+			t.Fatalf("%v: over-evicted world should move nothing, got %+v", algo, got)
+		}
+	}
+}
+
+// TestExpectedDegradedTierStatsFullFleet: with every node at full strength
+// the degraded closed form collapses to ExpectedTierStats.
+func TestExpectedDegradedTierStatsFullFleet(t *testing.T) {
+	const payload = 4096
+	h := dist.NewHierarchy(3, 4)
+	sizes := []int{4, 4, 4}
+	if got, want := comm.ExpectedDegradedTierStats(h, sizes, payload), comm.ExpectedTierStats(h, payload); got != want {
+		t.Fatalf("full-fleet degraded stats %+v, want %+v", got, want)
+	}
+}
+
+// TestExpectedDegradedTierStatsShrunkenInter: losing a whole node shrinks
+// the inter tier; losing every node but one empties it.
+func TestExpectedDegradedTierStatsShrunkenInter(t *testing.T) {
+	const payload = 4096
+	h := dist.NewHierarchy(3, 4)
+	twoNodes := comm.ExpectedDegradedTierStats(h, []int{4, 3}, payload)
+	if want := comm.ExpectedStats(h.Inter, 2, payload); twoNodes.Inter != want {
+		t.Fatalf("two-node inter tier %+v, want flat P=2 %+v", twoNodes.Inter, want)
+	}
+	// Intra latency rounds follow the slowest surviving node.
+	if want := comm.ExpectedStats(h.Intra, 4, payload).Steps; twoNodes.Intra.Steps != want {
+		t.Fatalf("intra rounds %d, want the largest node's %d", twoNodes.Intra.Steps, want)
+	}
+	oneNode := comm.ExpectedDegradedTierStats(h, []int{2}, payload)
+	if oneNode.Inter != (dist.CommStats{}) {
+		t.Fatalf("single surviving node still prices an inter tier: %+v", oneNode.Inter)
+	}
+}
+
+// TestDegradedHierarchicalAllreduceTime: full fleet matches the uniform
+// price; shrinking the fleet never makes the allreduce slower.
+func TestDegradedHierarchicalAllreduceTime(t *testing.T) {
+	const payload = 100 << 20
+	h := dist.NewHierarchy(4, 8)
+	intra, inter := comm.MellanoxFDR, comm.Intel10GbE
+	full := comm.DegradedHierarchicalAllreduceTime(intra, inter, h, []int{8, 8, 8, 8}, payload)
+	if want := comm.HierarchicalAllreduceTime(intra, inter, h, payload); full != want {
+		t.Fatalf("full-fleet degraded time %v, want %v", full, want)
+	}
+	degraded := comm.DegradedHierarchicalAllreduceTime(intra, inter, h, []int{8, 8, 8, 5}, payload)
+	if degraded > full {
+		t.Fatalf("losing workers made the allreduce slower: %v > %v", degraded, full)
+	}
+	collapsed := comm.DegradedHierarchicalAllreduceTime(intra, inter, h, []int{8}, payload)
+	if collapsed >= degraded {
+		t.Fatalf("losing the inter tier should shed its cost: %v >= %v", collapsed, degraded)
+	}
+}

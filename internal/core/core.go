@@ -96,8 +96,18 @@ type Config struct {
 	// dist.FP16Codec, dist.NewOneBitCodec).
 	Codec dist.Codec
 	// Faults optionally injects deterministic drops/stalls into the
-	// reduction schedule; recovery is exact (see dist.FaultPlan).
+	// reduction schedule; recovery is exact (see dist.FaultPlan). Workers
+	// the plan marks permanently Dead need Elastic, or Train returns a
+	// typed *dist.WorkerDeadError when the death bites.
 	Faults *dist.FaultPlan
+	// Elastic enables elastic membership (dist.Config.Elastic): a worker
+	// whose recovery fails Elastic.EvictAfter consecutive steps is
+	// evicted, its shards rebalance over the survivors, and the run
+	// continues on P−1 workers — the preemptible-fleet scenario.
+	// Result.Membership reports evictions, rebalances and the steps spent
+	// at each world size. The trajectory of the surviving run is
+	// bit-identical across topologies under the same plan and policy.
+	Elastic *dist.Elastic
 
 	Batch  int // global batch size B
 	Epochs int // fixed epoch budget E (the paper's invariant)
@@ -210,6 +220,11 @@ type Result struct {
 	// backward pass versus exposed at the step barrier. Everything is
 	// exposed unless Config.Overlap was set.
 	Overlap dist.OverlapStats
+	// Membership reports the elastic-membership activity of the run:
+	// evictions, rebalanced shards and resync bytes, and the number of
+	// steps executed at each world size. Zero evictions unless
+	// Config.Elastic was set and the fault plan killed a worker.
+	Membership dist.MembershipStats
 }
 
 // Train runs the configured recipe on the dataset and returns the result.
@@ -229,7 +244,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	}
 	engine := dist.NewEngine(dist.Config{
 		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
-		Overlap: cfg.Overlap, Codec: cfg.Codec, Faults: cfg.Faults,
+		Overlap: cfg.Overlap, Codec: cfg.Codec, Faults: cfg.Faults, Elastic: cfg.Elastic,
 	}, replicas)
 	defer engine.Close()
 
@@ -361,6 +376,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	res.Comm = engine.Stats()
 	res.TierComm = engine.TierStats()
 	res.Overlap = engine.OverlapStats()
+	res.Membership = engine.Membership()
 	res.Wall = time.Since(start)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -353,5 +354,70 @@ func TestHierarchyTrajectoryBitIdenticalToFlat(t *testing.T) {
 	}
 	if hier.TierComm.Intra.Messages == 0 || hier.TierComm.Inter.Messages == 0 {
 		t.Fatalf("both tiers should carry traffic: %+v", hier.TierComm)
+	}
+}
+
+// TestElasticTrainingSurvivesDeadWorker: a run that loses a worker
+// mid-training evicts it, finishes on P−1, and reports the membership
+// timeline — bit-identically across topologies under the same fault plan
+// and policy (the trainer-level face of dist's determinism contract).
+func TestElasticTrainingSurvivesDeadWorker(t *testing.T) {
+	ds := tinyDataset()
+	hier := dist.NewHierarchy(2, 2)
+	run := func(algo dist.Algorithm, topo *dist.Hierarchy) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: 4, Algo: algo, Topology: topo,
+			Batch: 64, Epochs: 2, Method: BaselineSGD, BaseLR: 0.1, Seed: 3,
+			Faults:  &dist.FaultPlan{Seed: 5, Dead: map[int]int64{3: 2}},
+			Elastic: &dist.Elastic{EvictAfter: 2},
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(dist.Central, nil)
+	if ref.Membership.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", ref.Membership.Evictions)
+	}
+	if ref.Membership.StepsAtWorld[4] != 4 || ref.Membership.StepsAtWorld[3] != ref.Iterations-4 {
+		t.Fatalf("world histogram %v, want 4 steps at P=4 then the rest at P=3 (of %d)",
+			ref.Membership.StepsAtWorld, ref.Iterations)
+	}
+	if ref.Membership.RebalancedShards == 0 || ref.Membership.RebalancedBytes == 0 {
+		t.Fatalf("rebalance accounting empty: %+v", ref.Membership)
+	}
+	for _, v := range []struct {
+		name string
+		algo dist.Algorithm
+		topo *dist.Hierarchy
+	}{{"ring", dist.Ring, nil}, {"hier", dist.Tree, &hier}} {
+		got := run(v.algo, v.topo)
+		if got.FinalLoss != ref.FinalLoss || got.TestAcc != ref.TestAcc {
+			t.Fatalf("%s: degraded trajectory differs across topologies: (%v,%v) vs (%v,%v)",
+				v.name, got.FinalLoss, got.TestAcc, ref.FinalLoss, ref.TestAcc)
+		}
+		if got.Membership.Timeline() != ref.Membership.Timeline() {
+			t.Fatalf("%s: membership timeline %q vs %q", v.name, got.Membership.Timeline(), ref.Membership.Timeline())
+		}
+	}
+}
+
+// TestDeadWorkerWithoutElasticityErrors: with elasticity off, a permanent
+// death surfaces the typed worker-dead error instead of silently retrying
+// the worker for the rest of the run.
+func TestDeadWorkerWithoutElasticityErrors(t *testing.T) {
+	ds := tinyDataset()
+	_, err := Train(Config{
+		Model: mlpFactory(4), Workers: 2, Batch: 64, Epochs: 2,
+		Method: BaselineSGD, BaseLR: 0.1, Seed: 3,
+		Faults: &dist.FaultPlan{Dead: map[int]int64{1: 1}},
+	}, ds)
+	var dead *dist.WorkerDeadError
+	if !errors.As(err, &dead) {
+		t.Fatalf("expected *dist.WorkerDeadError, got %v", err)
+	}
+	if dead.Worker != 1 {
+		t.Fatalf("dead worker %d, want 1", dead.Worker)
 	}
 }

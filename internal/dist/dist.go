@@ -28,7 +28,18 @@
 //     schedule split into hidden vs exposed in OverlapStats), optional
 //     payload compression (internal/compress 1-bit SGD or FP16 via the
 //     Codec hook) and deterministic fault injection (dropped payloads are
-//     re-requested, straggling workers are awaited) for scenario diversity.
+//     re-requested, straggling workers are awaited) for scenario diversity;
+//
+//   - elastic membership (Config.Elastic): when the fault plan kills a
+//     worker permanently (FaultPlan.Dead — the preemptible-node scenario),
+//     the engine evicts it after EvictAfter consecutive failed recoveries,
+//     rebalances the logical shards over the surviving P−1 workers
+//     (data.Spans), shrinks the topology (a hierarchy node losing all its
+//     workers leaves the inter tier), resynchronizes the weights, and
+//     continues lockstep at the smaller world — with the whole episode
+//     accounted in MembershipStats. Without Elastic a permanently dead
+//     worker surfaces a typed *WorkerDeadError instead of being retried
+//     forever.
 //
 // # Reproducibility contract
 //
@@ -47,7 +58,14 @@
 //
 //   - fault injection perturbs only the schedule accounting (retries,
 //     stalls), never the reduced values, so a faulty run recovers to the
-//     bitwise result of a fault-free run.
+//     bitwise result of a fault-free run;
+//
+//   - elastic eviction is pure schedule surgery: given the same fault plan
+//     and policy, a degrading run is bit-identical across topologies, and
+//     every post-eviction step is bit-identical to a fresh P−1 run started
+//     from the rebalanced weights (the default per-worker shard split
+//     follows the world size down, so the degraded engine and the fresh
+//     small one compute the very same shard spans).
 package dist
 
 import "fmt"

@@ -55,8 +55,17 @@ type Config struct {
 	// (lossy; see FP16Codec and OneBitCodec). nil exchanges raw float32.
 	Codec Codec
 	// Faults optionally injects deterministic drops and stalls into the
-	// reduction schedule. Recovery is exact: values are unaffected.
+	// reduction schedule. Recovery is exact: values are unaffected. A
+	// worker the plan marks permanently Dead never recovers — pair with
+	// Elastic, or the step loop surfaces a *WorkerDeadError.
 	Faults *FaultPlan
+	// Elastic enables elastic membership: a worker whose recovery fails
+	// Elastic.EvictAfter consecutive steps is evicted from the collective,
+	// its shards rebalance over the surviving P−1 workers, the topology
+	// shrinks, and training continues in lockstep at the smaller world
+	// size (see the Elastic type for the full state machine and the
+	// determinism contract). nil keeps the fixed-membership behavior.
+	Elastic *Elastic
 }
 
 // Engine drives synchronous data-parallel SGD over W model replicas using W
@@ -74,6 +83,19 @@ type Engine struct {
 	params   [][]*nn.Param // per-replica parameter lists
 	nparams  int           // total float32 coordinates per replica
 	buckets  [][2]int      // bucket coordinate ranges
+
+	// Membership state machine (see Elastic). alive marks the replicas
+	// still in the collective; world counts them. consecDead tracks each
+	// worker's consecutive failed recoveries toward eviction. shards is
+	// the current logical shard count — it follows the world size down
+	// when shardsTrack is set (Config.Shards equaled the worker count).
+	// nodes holds each hierarchy node's live members (nil when flat).
+	alive       []bool
+	world       int
+	consecDead  []int
+	shards      int
+	shardsTrack bool
+	nodes       [][]int
 
 	// Overlap-scheduler structures (see Config.Overlap). paramOffs maps
 	// master parameter index to its flat-gradient offset; paramBuckets
@@ -98,15 +120,17 @@ type Engine struct {
 	losses []float64   // per logical shard: mean loss over the shard
 	evalOK []int       // per worker: correct predictions of the last eval
 
-	reduced     []float32 // scratch: canonically reduced flat gradient
-	steps       int64
-	stats       CommStats
-	lastStep    CommStats
-	tiers       TierStats // per-fabric split of stats (hierarchical runs only)
-	lastTiers   TierStats // per-fabric split of lastStep
-	overlap     OverlapStats
-	lastOverlap OverlapStats
-	closed      bool
+	reduced        []float32 // scratch: canonically reduced flat gradient
+	steps          int64
+	stats          CommStats
+	lastStep       CommStats
+	tiers          TierStats // per-fabric split of stats (hierarchical runs only)
+	lastTiers      TierStats // per-fabric split of lastStep
+	overlap        OverlapStats
+	lastOverlap    OverlapStats
+	membership     MembershipStats
+	lastMembership MembershipStats
+	closed         bool
 }
 
 type jobKind int
@@ -134,6 +158,13 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	if len(replicas) == 0 {
 		panic("dist: NewEngine needs at least one replica")
 	}
+	// Only the default per-worker shard split follows the world size down
+	// on elastic evictions. An explicitly pinned Shards — even one equal
+	// to the worker count — stays pinned, preserving the bit-identity
+	// promise of pinned runs; and any codec keeps the split fixed too, so
+	// its slot-keyed state (1-bit error feedback) never remaps onto a
+	// different shard's data mid-run.
+	trackWorld := cfg.Shards == 0 && cfg.Codec == nil
 	if cfg.Shards == 0 {
 		cfg.Shards = len(replicas)
 	}
@@ -146,14 +177,41 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 			panic(fmt.Sprintf("dist: %v hierarchy needs %d workers, engine has %d replicas", *h, h.Workers(), len(replicas)))
 		}
 	}
+	if f := cfg.Faults; f != nil {
+		for w := range f.Dead {
+			if w == 0 {
+				panic("dist: FaultPlan.Dead cannot mark worker 0 (the master) dead")
+			}
+			if w < 0 || w >= len(replicas) {
+				panic(fmt.Sprintf("dist: FaultPlan.Dead marks worker %d, engine has %d replicas", w, len(replicas)))
+			}
+		}
+	}
 	e := &Engine{
-		cfg:      cfg,
-		replicas: replicas,
-		params:   make([][]*nn.Param, len(replicas)),
-		done:     make(chan error, len(replicas)),
-		grads:    make([][]float32, cfg.Shards),
-		losses:   make([]float64, cfg.Shards),
-		evalOK:   make([]int, len(replicas)),
+		cfg:         cfg,
+		replicas:    replicas,
+		params:      make([][]*nn.Param, len(replicas)),
+		done:        make(chan error, len(replicas)),
+		grads:       make([][]float32, cfg.Shards),
+		losses:      make([]float64, cfg.Shards),
+		evalOK:      make([]int, len(replicas)),
+		alive:       make([]bool, len(replicas)),
+		world:       len(replicas),
+		consecDead:  make([]int, len(replicas)),
+		shards:      cfg.Shards,
+		shardsTrack: trackWorld,
+	}
+	for w := range e.alive {
+		e.alive[w] = true
+	}
+	e.membership.StepsAtWorld = make([]int64, len(replicas)+1)
+	if h := cfg.Topology; h != nil {
+		e.nodes = make([][]int, h.Nodes)
+		for n := range e.nodes {
+			for i := 0; i < h.PerNode; i++ {
+				e.nodes[n] = append(e.nodes[n], n*h.PerNode+i)
+			}
+		}
 	}
 	for w, r := range replicas {
 		e.params[w] = r.Params()
@@ -309,8 +367,10 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	for _, ch := range e.jobs {
-		close(ch)
+	for w, ch := range e.jobs {
+		if e.alive[w] { // evicted workers' channels are already closed
+			close(ch)
+		}
 	}
 	e.wg.Wait()
 	if e.cfg.Overlap {
@@ -351,14 +411,15 @@ func (e *Engine) recordTiers(t TierStats, hidden bool) {
 func (e *Engine) recordReduce(wireTotal int64, shards int, hidden bool) {
 	n := int64(shards)
 	if h := e.cfg.Topology; h != nil {
-		t := hierReduceSchedule(*h, 0)
-		t.Intra.Bytes = int64(h.Nodes) * reduceBytesFactor(h.Intra, h.PerNode) * wireTotal / n
-		t.Inter.Bytes = reduceBytesFactor(h.Inter, h.Nodes) * wireTotal / n
+		sizes := e.nodeSizes()
+		t := degradedHierReduceSchedule(*h, sizes, 0)
+		t.Intra.Bytes = degradedIntraBytesFactor(*h, sizes) * wireTotal / n
+		t.Inter.Bytes = reduceBytesFactor(h.Inter, len(sizes)) * wireTotal / n
 		e.recordTiers(t, hidden)
 		return
 	}
-	st := reduceSchedule(e.cfg.Algo, len(e.replicas), 0)
-	st.Bytes = reduceBytesFactor(e.cfg.Algo, len(e.replicas)) * wireTotal / n
+	st := reduceSchedule(e.cfg.Algo, e.world, 0)
+	st.Bytes = reduceBytesFactor(e.cfg.Algo, e.world) * wireTotal / n
 	e.record(st, hidden)
 }
 
@@ -367,10 +428,10 @@ func (e *Engine) recordReduce(wireTotal int64, shards int, hidden bool) {
 // optimizer step, so they are always exposed.
 func (e *Engine) recordBroadcast(payloadBytes int64) {
 	if h := e.cfg.Topology; h != nil {
-		e.recordTiers(hierBroadcastSchedule(*h, payloadBytes), false)
+		e.recordTiers(degradedHierBroadcastSchedule(*h, e.nodeSizes(), payloadBytes), false)
 		return
 	}
-	e.record(broadcastSchedule(e.cfg.Algo, len(e.replicas), payloadBytes), false)
+	e.record(broadcastSchedule(e.cfg.Algo, e.world, payloadBytes), false)
 }
 
 // worker is the lockstep loop of one persistent worker goroutine.
@@ -454,17 +515,19 @@ func flatten(params []*nn.Param, dst []float32) {
 	}
 }
 
-// dispatch sends one job per worker and waits for the lockstep barrier,
-// returning the first worker error.
-func (e *Engine) dispatch(mk func(w int) job) error {
+// dispatch sends one job to each of the given workers and waits for the
+// lockstep barrier, returning the first worker error. Evicted and
+// currently-dead workers are simply not in the list — the barrier only
+// waits on workers that can answer.
+func (e *Engine) dispatch(workers []int, mk func(w int) job) error {
 	if e.closed {
 		panic("dist: engine used after Close")
 	}
-	for w := range e.jobs {
+	for _, w := range workers {
 		e.jobs[w] <- mk(w)
 	}
 	var first error
-	for range e.jobs {
+	for range workers {
 		if err := <-e.done; err != nil && first == nil {
 			first = err
 		}
@@ -491,14 +554,24 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	if len(labels) != b {
 		panic(fmt.Sprintf("dist: %d labels for batch of %d", len(labels), b))
 	}
-	spans := data.Spans(b, e.cfg.Shards)
+	if err := e.checkDead(e.steps); err != nil {
+		return 0, err
+	}
+	spans := data.Spans(b, e.shards)
 	e.lastStep = CommStats{}
 	e.lastTiers = TierStats{}
 	e.lastOverlap = OverlapStats{}
+	e.lastMembership = MembershipStats{StepsAtWorld: make([]int64, len(e.replicas)+1)}
 	weights, live := shardWeights(spans, b)
 
+	// The shard slots rebalance over the workers that can answer this
+	// step: the live fleet minus any worker the fault plan holds
+	// permanently dead (its shards are recomputed by survivors, the
+	// failed recovery injectFaults accounts).
+	active := e.activeIDs(e.steps)
+	slots := e.slotOwners(active)
 	mkJob := func(w int) job {
-		return job{kind: jobGrad, x: x, labels: labels, spans: spans, slots: e.ownedSlots(w)}
+		return job{kind: jobGrad, x: x, labels: labels, spans: spans, slots: slots[w]}
 	}
 	payloads := make([]int64, len(e.buckets))
 	if e.cfg.Overlap && len(e.buckets) > 0 && len(live) > 0 {
@@ -529,7 +602,7 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 				}
 			}
 		}()
-		if err := e.dispatch(mkJob); err != nil {
+		if err := e.dispatch(active, mkJob); err != nil {
 			// A failed worker leaves bucket countdowns unresolved; the
 			// scheduler would wait forever without the abort.
 			close(abort)
@@ -540,7 +613,7 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 		}
 		<-done
 	} else {
-		if err := e.dispatch(mkJob); err != nil {
+		if err := e.dispatch(active, mkJob); err != nil {
 			return 0, err
 		}
 		for bi := range e.buckets {
@@ -553,7 +626,13 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 		off += p.Numel()
 	}
 	e.injectFaults(payloads)
+	e.noteStep(e.world) // filed at the world size the step executed at
 	e.steps++
+	// Membership epoch boundary: evict workers whose recovery has failed
+	// Elastic.EvictAfter consecutive steps, rebalance, resynchronize.
+	if err := e.evictDead(); err != nil {
+		return 0, err
+	}
 
 	var loss float64
 	for s, span := range spans {
@@ -577,17 +656,6 @@ func shardWeights(spans [][2]int, b int) (weights []float64, live []int) {
 		live = append(live, s)
 	}
 	return weights, live
-}
-
-// ownedSlots returns the logical shard slots worker w processes: shard s
-// belongs to worker s mod W, keeping the per-worker load within one shard
-// of even for any Shards/Workers ratio.
-func (e *Engine) ownedSlots(w int) []int {
-	var slots []int
-	for s := w; s < e.cfg.Shards; s += len(e.replicas) {
-		slots = append(slots, s)
-	}
-	return slots
 }
 
 // reduceBucket reduces one bucket of the shard gradients into e.reduced:
@@ -637,46 +705,62 @@ func (e *Engine) reduceBucket(bi int, live []int, weights []float64, hidden bool
 // injectFaults rolls the fault plan for the current step and accounts the
 // recovery traffic: a dropped worker payload is re-requested and resent
 // (Retries plus that worker's sender share of every bucket), a straggler
-// holds the barrier for one round (Stalls). Under a hierarchical topology
-// the recovery traffic lands on the tier the worker sends on — intra for
-// node members, inter for node leaders. Recovery happens at the step
-// barrier, so it is always exposed. Values are never affected — recovery is
-// exact, which is what keeps faulty runs bit-identical to clean ones.
+// holds the barrier for one round (Stalls). A permanently dead worker's
+// step is a failed recovery: a survivor recomputes its shards, the resend
+// is accounted the same way, and the worker's consecutive-failure counter
+// advances toward Elastic.EvictAfter instead of resetting. Under a
+// hierarchical topology the recovery traffic lands on the tier the worker
+// sends on — intra for node members, inter for the surviving node leaders.
+// Recovery happens at the step barrier, so it is always exposed. Values are
+// never affected — recovery is exact, which is what keeps faulty runs
+// bit-identical to clean ones.
 func (e *Engine) injectFaults(payloads []int64) {
 	f := e.cfg.Faults
-	if !f.enabled() || len(e.replicas) == 1 {
+	if !f.enabled() || e.world == 1 {
 		return
 	}
 	h := e.cfg.Topology
-	for w := range e.replicas {
+	accountDrop := func(w int) {
+		if h != nil {
+			leader, nodeSize, liveNodes := e.nodeRole(w)
+			var t TierStats
+			for _, payload := range payloads {
+				t.Add(degradedSenderShare(*h, leader, nodeSize, liveNodes, payload))
+			}
+			if leader {
+				t.Inter.Retries = 1
+			} else {
+				t.Intra.Retries = 1
+			}
+			e.recordTiers(t, false)
+			return
+		}
+		var st CommStats
+		st.Retries = 1
+		for _, payload := range payloads {
+			msgs, bytes := senderShare(e.cfg.Algo, e.world, payload)
+			st.Messages += msgs
+			st.Bytes += bytes
+		}
+		e.record(st, false)
+	}
+	for _, w := range e.liveIDs() {
+		if f.deadAt(e.steps, w) {
+			// Failed recovery: the re-request goes unanswered and a
+			// survivor recomputes and resends the dead worker's shards.
+			e.consecDead[w]++
+			accountDrop(w)
+			continue
+		}
+		e.consecDead[w] = 0
 		drop, stall := f.roll(e.steps, w)
 		if drop {
-			if h != nil {
-				var t TierStats
-				for _, payload := range payloads {
-					t.Add(hierSenderShare(*h, w, payload))
-				}
-				if lead, _ := h.leader(w); lead {
-					t.Inter.Retries = 1
-				} else {
-					t.Intra.Retries = 1
-				}
-				e.recordTiers(t, false)
-			} else {
-				var st CommStats
-				st.Retries = 1
-				for _, payload := range payloads {
-					msgs, bytes := senderShare(e.cfg.Algo, len(e.replicas), payload)
-					st.Messages += msgs
-					st.Bytes += bytes
-				}
-				e.record(st, false)
-			}
+			accountDrop(w)
 		}
 		if stall {
 			if h != nil {
 				var t TierStats
-				if lead, _ := h.leader(w); lead {
+				if leader, _, _ := e.nodeRole(w); leader {
 					t.Inter.Stalls = 1
 				} else {
 					t.Intra.Stalls = 1
@@ -695,7 +779,7 @@ func (e *Engine) injectFaults(payloads []int64) {
 // (architecture drift between replicas) is returned so the training loop
 // can abort the step cleanly instead of crashing the process.
 func (e *Engine) BroadcastWeights() error {
-	if err := e.dispatch(func(w int) job { return job{kind: jobSync} }); err != nil {
+	if err := e.dispatch(e.activeIDs(e.steps), func(w int) job { return job{kind: jobSync} }); err != nil {
 		return err
 	}
 	for _, bucket := range e.buckets {
@@ -725,19 +809,20 @@ func (e *Engine) EvalAccuracy(images *tensor.Tensor, labels []int, batch int) (f
 		}
 		spans = append(spans, [2]int{lo, hi})
 	}
+	active := e.activeIDs(e.steps)
 	slots := make([][]int, len(e.replicas))
 	for i := range spans {
-		w := i % len(e.replicas)
+		w := active[i%len(active)]
 		slots[w] = append(slots[w], i)
 	}
-	if err := e.dispatch(func(w int) job {
+	if err := e.dispatch(active, func(w int) job {
 		return job{kind: jobEval, x: images, labels: labels, spans: spans, slots: slots[w]}
 	}); err != nil {
 		return 0, err
 	}
 	correct := 0
-	for _, c := range e.evalOK {
-		correct += c
+	for _, w := range active {
+		correct += e.evalOK[w]
 	}
 	return float64(correct) / float64(n), nil
 }

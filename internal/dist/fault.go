@@ -6,6 +6,13 @@ package dist
 // exactly reproducible — and, because the synchronous engine re-requests
 // dropped payloads and waits out stragglers, they recover to the bitwise
 // result of a fault-free run (tested).
+//
+// Two fault classes are distinguished. Rate faults (DropRate, StallRate)
+// are transient: the worker is alive, the resend succeeds, and the step
+// completes with the recovery traffic accounted. Permanent deaths (Dead)
+// never recover: every recovery attempt fails, and the engine either evicts
+// the worker under Config.Elastic or surfaces a typed *WorkerDeadError —
+// it must not retry forever.
 type FaultPlan struct {
 	// Seed keys the fault schedule. Two engines with equal plans inject
 	// identical faults.
@@ -18,11 +25,29 @@ type FaultPlan struct {
 	// worker straggles, holding the lockstep barrier for one round
 	// (CommStats.Stalls).
 	StallRate float64
+	// Dead marks workers as permanently unreachable: Dead[w] = s means
+	// worker w answers nothing from step s on — the preemptible-node
+	// scenario. Unlike a rate drop, a dead worker's recovery never
+	// succeeds: a survivor recomputes its shards (accounted as a retry
+	// plus the resend traffic) and the failed recovery counts toward
+	// Elastic.EvictAfter. Worker 0 (the master) cannot be marked dead;
+	// NewEngine rejects such plans.
+	Dead map[int]int64
 }
 
 // enabled reports whether the plan can ever fire.
 func (f *FaultPlan) enabled() bool {
-	return f != nil && (f.DropRate > 0 || f.StallRate > 0)
+	return f != nil && (f.DropRate > 0 || f.StallRate > 0 || len(f.Dead) > 0)
+}
+
+// deadAt reports whether the plan marks worker w permanently unreachable at
+// the given step.
+func (f *FaultPlan) deadAt(step int64, w int) bool {
+	if f == nil || len(f.Dead) == 0 {
+		return false
+	}
+	s, ok := f.Dead[w]
+	return ok && step >= s
 }
 
 // roll returns the two fault decisions for a worker at a step. Worker 0 is

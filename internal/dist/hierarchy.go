@@ -91,26 +91,94 @@ func (t TierStats) Total() CommStats {
 	return total
 }
 
+// uniformSizes returns the full-strength node layout: Nodes entries of
+// PerNode live workers each.
+func uniformSizes(h Hierarchy) []int {
+	sizes := make([]int, h.Nodes)
+	for i := range sizes {
+		sizes[i] = h.PerNode
+	}
+	return sizes
+}
+
 // hierReduceSchedule returns the per-tier schedule of one hierarchical
 // gradient reduction: Nodes concurrent intra-node reductions (messages and
 // bytes sum over nodes; latency rounds are counted once, the nodes being
 // concurrent on disjoint fabrics) feeding one inter-node reduction among
 // the node leaders.
 func hierReduceSchedule(h Hierarchy, payloadBytes int64) TierStats {
-	intra := reduceSchedule(h.Intra, h.PerNode, payloadBytes)
-	intra.Messages *= int64(h.Nodes)
-	intra.Bytes *= int64(h.Nodes)
-	return TierStats{Intra: intra, Inter: reduceSchedule(h.Inter, h.Nodes, payloadBytes)}
+	return degradedHierReduceSchedule(h, uniformSizes(h), payloadBytes)
 }
 
 // hierBroadcastSchedule returns the per-tier schedule of one hierarchical
 // broadcast: root to node leaders on the inter fabric, then every leader
 // fanning out within its node concurrently on the intra fabrics.
 func hierBroadcastSchedule(h Hierarchy, payloadBytes int64) TierStats {
-	intra := broadcastSchedule(h.Intra, h.PerNode, payloadBytes)
-	intra.Messages *= int64(h.Nodes)
-	intra.Bytes *= int64(h.Nodes)
-	return TierStats{Intra: intra, Inter: broadcastSchedule(h.Inter, h.Nodes, payloadBytes)}
+	return degradedHierBroadcastSchedule(h, uniformSizes(h), payloadBytes)
+}
+
+// degradedHierReduceSchedule returns the per-tier schedule of one
+// hierarchical gradient reduction over a degraded fleet, sizes listing the
+// live-worker count of every surviving (non-empty) node. Intra-node
+// reductions still run concurrently on disjoint fabrics, so intra latency
+// rounds are the maximum over nodes while messages and bytes sum; the
+// inter tier is a flat reduction among the len(sizes) surviving node
+// leaders — a node that lost all its workers has left the leader exchange.
+// With a full fleet this is exactly hierReduceSchedule.
+func degradedHierReduceSchedule(h Hierarchy, sizes []int, payloadBytes int64) TierStats {
+	var intra CommStats
+	for _, p := range sizes {
+		s := reduceSchedule(h.Intra, p, payloadBytes)
+		intra.Messages += s.Messages
+		intra.Bytes += s.Bytes
+		if s.Steps > intra.Steps {
+			intra.Steps = s.Steps
+		}
+	}
+	return TierStats{Intra: intra, Inter: reduceSchedule(h.Inter, len(sizes), payloadBytes)}
+}
+
+// degradedHierBroadcastSchedule is the broadcast twin of
+// degradedHierReduceSchedule: inter-node to the surviving leaders, then
+// concurrent intra-node fan-outs sized by each node's live membership.
+func degradedHierBroadcastSchedule(h Hierarchy, sizes []int, payloadBytes int64) TierStats {
+	var intra CommStats
+	for _, p := range sizes {
+		s := broadcastSchedule(h.Intra, p, payloadBytes)
+		intra.Messages += s.Messages
+		intra.Bytes += s.Bytes
+		if s.Steps > intra.Steps {
+			intra.Steps = s.Steps
+		}
+	}
+	return TierStats{Intra: intra, Inter: broadcastSchedule(h.Inter, len(sizes), payloadBytes)}
+}
+
+// degradedIntraBytesFactor returns the intra tier's aggregate bytes per
+// payload byte over a degraded fleet — the sum of each surviving node's
+// reduction byte factor — used by the engine to account non-uniform codec
+// payloads exactly (see reduceBytesFactor).
+func degradedIntraBytesFactor(h Hierarchy, sizes []int) int64 {
+	var f int64
+	for _, p := range sizes {
+		f += reduceBytesFactor(h.Intra, p)
+	}
+	return f
+}
+
+// DegradedHierReduceSchedule returns the closed-form per-tier schedule of
+// one hierarchical gradient reduction over a degraded fleet — exactly the
+// counters the engine records per bucket after elastic evictions, with
+// sizes the live-worker counts of the surviving nodes. Pair with
+// DegradedHierBroadcastSchedule for a full degraded allreduce.
+func DegradedHierReduceSchedule(h Hierarchy, sizes []int, payloadBytes int64) TierStats {
+	return degradedHierReduceSchedule(h, sizes, payloadBytes)
+}
+
+// DegradedHierBroadcastSchedule returns the closed-form per-tier schedule
+// of one hierarchical broadcast over a degraded fleet.
+func DegradedHierBroadcastSchedule(h Hierarchy, sizes []int, payloadBytes int64) TierStats {
+	return degradedHierBroadcastSchedule(h, sizes, payloadBytes)
 }
 
 // HierReduceSchedule returns the closed-form per-tier schedule of one
@@ -127,17 +195,19 @@ func HierBroadcastSchedule(h Hierarchy, payloadBytes int64) TierStats {
 	return hierBroadcastSchedule(h, payloadBytes)
 }
 
-// hierSenderShare returns the tier-attributed resend traffic of worker w's
-// dropped reduction payload: a non-leader re-sends on its node's intra
-// fabric, a node leader re-sends its node sum on the inter fabric. The
-// caller accounts the Retries event itself, once per drop.
-func hierSenderShare(h Hierarchy, w int, payloadBytes int64) TierStats {
+// degradedSenderShare returns the tier-attributed resend traffic of one
+// live worker's dropped (or dead-and-recomputed) reduction payload in a
+// possibly degraded hierarchy: a surviving node leader re-sends its node
+// sum on the inter fabric among the liveNodes leaders, a member re-sends
+// on its node's intra fabric at the node's live size. The caller accounts
+// the Retries event itself, once per drop.
+func degradedSenderShare(h Hierarchy, leader bool, nodeSize, liveNodes int, payloadBytes int64) TierStats {
 	var t TierStats
-	if lead, _ := h.leader(w); lead {
-		msgs, bytes := senderShare(h.Inter, h.Nodes, payloadBytes)
+	if leader {
+		msgs, bytes := senderShare(h.Inter, liveNodes, payloadBytes)
 		t.Inter = CommStats{Messages: msgs, Bytes: bytes}
 	} else {
-		msgs, bytes := senderShare(h.Intra, h.PerNode, payloadBytes)
+		msgs, bytes := senderShare(h.Intra, nodeSize, payloadBytes)
 		t.Intra = CommStats{Messages: msgs, Bytes: bytes}
 	}
 	return t

@@ -1,0 +1,335 @@
+package dist
+
+import "fmt"
+
+// DefaultEvictAfter is the eviction threshold used when Elastic.EvictAfter
+// is zero: a worker is declared dead after this many consecutive failed
+// recoveries.
+const DefaultEvictAfter = 3
+
+// Elastic is the engine's elastic-membership policy (ROADMAP: "Elastic
+// membership"). Without it the engine recovers every fault in place and a
+// permanently dead worker surfaces a *WorkerDeadError; with it the engine
+// runs a small membership state machine per worker:
+//
+//	healthy --fault plan marks worker dead--> suspected
+//	suspected --recovery fails EvictAfter consecutive steps--> evicted
+//
+// Eviction removes the worker from the collective at the end of the step
+// that crossed the threshold:
+//
+//   - the worker's goroutine is released and its gradient-notify hook (the
+//     overlap scheduler's input) is unhooked — the scheduler's bucket
+//     cover maps depend only on the parameter layout, and its per-step
+//     countdowns rescale to the surviving shard count automatically;
+//   - the logical shard spans are recomputed over the surviving P−1 workers
+//     via data.Spans — with the default split (Config.Shards left zero, no
+//     codec) the shard count follows the world size down, so the
+//     post-eviction split is exactly the split a fresh P−1 engine would
+//     use; an explicitly pinned Shards stays pinned (pinned runs keep
+//     their bit-identity promise), as does any run with a Codec (slot-keyed
+//     codec state must never remap onto a different shard's data), and then
+//     only the shard→worker assignment rebalances;
+//   - the topology is rebuilt: flat central/tree/ring schedules re-price at
+//     P−1, and a Hierarchy drops the worker from its node — a node losing
+//     all its workers shrinks the inter tier (its leader leaves the leader
+//     exchange);
+//   - the master re-broadcasts the weights to the survivors (the
+//     membership-epoch resynchronization), accounted — exposed — into the
+//     step's CommStats and into MembershipStats.RebalancedBytes.
+//
+// Determinism contract (tested at collective, engine and trainer level):
+// given the same fault plan and eviction policy, the run is bit-identical
+// across topologies, and every post-eviction step is bit-identical to a
+// fresh P−1 run started from the rebalanced weights (for a fresh run with
+// the same pinned Shards and codec state when those are set — a
+// data-dependent codec's error feedback carries across the membership
+// change exactly as it would on the surviving hardware). Eviction is pure
+// schedule surgery — the reduced values never depend on which workers
+// carried the shards.
+type Elastic struct {
+	// EvictAfter is the number of consecutive failed recoveries after
+	// which a dead worker is evicted; 0 means DefaultEvictAfter. The
+	// master (worker 0) is never evicted.
+	EvictAfter int
+}
+
+// evictAfter returns the effective threshold.
+func (p *Elastic) evictAfter() int {
+	if p == nil || p.EvictAfter <= 0 {
+		return DefaultEvictAfter
+	}
+	return p.EvictAfter
+}
+
+// MembershipStats accounts the engine's elastic-membership activity: how
+// often the world shrank, what the rebalances moved, and how many steps ran
+// at each world size. The resynchronization traffic is additionally folded
+// into the ordinary CommStats (always exposed — membership changes happen
+// at the step barrier), so Engine.StepStats reflects an eviction's full
+// schedule cost.
+type MembershipStats struct {
+	// Evictions is the number of workers removed from the collective.
+	Evictions int64
+	// RebalancedShards counts the logical shards that had to find new
+	// owners: each evicted worker contributes the shards it owned in the
+	// membership assignment at eviction time.
+	RebalancedShards int64
+	// RebalancedBytes is the wire payload of the post-eviction weight
+	// resynchronization broadcasts, as accounted by the executed schedule.
+	RebalancedBytes int64
+	// StepsAtWorld counts completed gradient steps by world size:
+	// StepsAtWorld[p] steps ran with p live workers. The slice is sized
+	// initial-workers+1; entries above the current world size stop
+	// growing as evictions shrink the fleet.
+	StepsAtWorld []int64
+}
+
+// Add accumulates o into m, growing the world histogram as needed.
+func (m *MembershipStats) Add(o MembershipStats) {
+	m.Evictions += o.Evictions
+	m.RebalancedShards += o.RebalancedShards
+	m.RebalancedBytes += o.RebalancedBytes
+	if len(o.StepsAtWorld) > len(m.StepsAtWorld) {
+		grown := make([]int64, len(o.StepsAtWorld))
+		copy(grown, m.StepsAtWorld)
+		m.StepsAtWorld = grown
+	}
+	for p, s := range o.StepsAtWorld {
+		m.StepsAtWorld[p] += s
+	}
+}
+
+// Steps returns the total steps across all world sizes.
+func (m MembershipStats) Steps() int64 {
+	var n int64
+	for _, s := range m.StepsAtWorld {
+		n += s
+	}
+	return n
+}
+
+// Timeline renders the world-size history compactly, largest world first,
+// e.g. "4x12 3x8" for twelve steps at P=4 then eight at P=3.
+func (m MembershipStats) Timeline() string {
+	out := ""
+	for p := len(m.StepsAtWorld) - 1; p >= 0; p-- {
+		if m.StepsAtWorld[p] == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%dx%d", p, m.StepsAtWorld[p])
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// WorkerDeadError reports a worker whose reduction payload can no longer be
+// recovered: the fault plan marked it permanently unreachable and elastic
+// membership is disabled, so the engine surfaces the condition instead of
+// retrying the worker forever at the step barrier. Enable Config.Elastic to
+// have the engine evict the worker and continue on the survivors.
+type WorkerDeadError struct {
+	// Worker is the unreachable worker's index.
+	Worker int
+	// Step is the step whose reduction could not be recovered.
+	Step int64
+}
+
+// Error implements error.
+func (e *WorkerDeadError) Error() string {
+	return fmt.Sprintf("dist: worker %d is permanently dead at step %d and Config.Elastic is unset: cannot recover its shards (evict it by enabling elastic membership)", e.Worker, e.Step)
+}
+
+// LiveWorkers returns the current world size: the replicas still in the
+// collective. It equals Workers() until an eviction shrinks the fleet.
+func (e *Engine) LiveWorkers() int { return e.world }
+
+// Shards returns the current logical shard count. It equals Config.Shards
+// until elastic evictions rebalance a world-tracking shard split down.
+func (e *Engine) Shards() int { return e.shards }
+
+// Membership returns the cumulative elastic-membership accounting.
+func (e *Engine) Membership() MembershipStats { return e.membership }
+
+// StepMembership returns the membership accounting of the most recent
+// training step (evictions and rebalances that closed it, plus its world
+// size), the membership view of StepStats.
+func (e *Engine) StepMembership() MembershipStats { return e.lastMembership }
+
+// liveIDs returns the indices of the workers still in the collective.
+func (e *Engine) liveIDs() []int {
+	ids := make([]int, 0, len(e.replicas))
+	for w, a := range e.alive {
+		if a {
+			ids = append(ids, w)
+		}
+	}
+	return ids
+}
+
+// activeIDs returns the workers that can do work at the given step: live
+// and not marked permanently dead by the fault plan. A dead-but-not-yet-
+// evicted worker is excluded from dispatch — its shards are recomputed by
+// the survivors, which is the failed-recovery path injectFaults accounts.
+func (e *Engine) activeIDs(step int64) []int {
+	ids := make([]int, 0, len(e.replicas))
+	for w, a := range e.alive {
+		if a && !e.cfg.Faults.deadAt(step, w) {
+			ids = append(ids, w)
+		}
+	}
+	return ids
+}
+
+// slotOwners assigns the logical shard slots round-robin over the active
+// workers — shard s belongs to active[s mod len(active)] — keeping the
+// per-worker load within one shard of even for any shard/worker ratio, at
+// full strength and after evictions alike.
+func (e *Engine) slotOwners(active []int) [][]int {
+	slots := make([][]int, len(e.replicas))
+	for s := 0; s < e.shards; s++ {
+		w := active[s%len(active)]
+		slots[w] = append(slots[w], s)
+	}
+	return slots
+}
+
+// nodeSizes returns the live-worker count of every non-empty node of the
+// hierarchical topology, in node order. Nil for flat engines.
+func (e *Engine) nodeSizes() []int {
+	if e.nodes == nil {
+		return nil
+	}
+	sizes := make([]int, 0, len(e.nodes))
+	for _, members := range e.nodes {
+		if len(members) > 0 {
+			sizes = append(sizes, len(members))
+		}
+	}
+	return sizes
+}
+
+// nodeRole locates live worker w in the degraded hierarchy: whether it
+// leads its node (a node's leader is its first surviving member), the
+// node's live size, and the count of non-empty nodes (the inter tier's
+// world). It panics if w is not a live member of any node.
+func (e *Engine) nodeRole(w int) (leader bool, nodeSize, liveNodes int) {
+	for _, members := range e.nodes {
+		if len(members) == 0 {
+			continue
+		}
+		liveNodes++
+		for i, m := range members {
+			if m == w {
+				leader = i == 0
+				nodeSize = len(members)
+			}
+		}
+	}
+	if nodeSize == 0 {
+		panic(fmt.Sprintf("dist: worker %d is not a live member of any node", w))
+	}
+	return leader, nodeSize, liveNodes
+}
+
+// checkDead enforces the no-forever-retry contract when elasticity is off:
+// if the fault plan marks a live worker permanently dead at this step, the
+// step surfaces a typed *WorkerDeadError instead of pretending the barrier
+// could recover it.
+func (e *Engine) checkDead(step int64) error {
+	if e.cfg.Elastic != nil {
+		return nil
+	}
+	for _, w := range e.liveIDs() {
+		if e.cfg.Faults.deadAt(step, w) {
+			return &WorkerDeadError{Worker: w, Step: step}
+		}
+	}
+	return nil
+}
+
+// noteStep files the just-completed step under the world size it executed
+// at, in both the cumulative and per-step membership accounting.
+func (e *Engine) noteStep(world int) {
+	e.membership.StepsAtWorld[world]++
+	e.lastMembership.StepsAtWorld[world]++
+}
+
+// evictDead runs the eviction side of the membership state machine at the
+// end of a step: every worker whose consecutive failed recoveries reached
+// the policy threshold is removed from the collective (worker-index order,
+// for determinism), the shard split and topology are rebuilt over the
+// survivors, and the master resynchronizes the fleet with an accounted
+// weight broadcast. No-op unless Config.Elastic is set and a worker crossed
+// the threshold.
+func (e *Engine) evictDead() error {
+	if e.cfg.Elastic == nil {
+		return nil
+	}
+	threshold := e.cfg.Elastic.evictAfter()
+	evicted := false
+	for w := 1; w < len(e.replicas); w++ {
+		if !e.alive[w] || e.consecDead[w] < threshold {
+			continue
+		}
+		e.evict(w)
+		evicted = true
+	}
+	if !evicted {
+		return nil
+	}
+	// One membership epoch per step: rebuild the shard split and the
+	// overlap cover maps once, then resynchronize the survivors from the
+	// master. The broadcast runs at the new world size and is accounted
+	// (exposed) like any other barrier traffic, with its payload also
+	// filed under RebalancedBytes.
+	if e.shardsTrack {
+		e.shards = e.world
+	}
+	before := e.stats.Bytes
+	if err := e.BroadcastWeights(); err != nil {
+		return err
+	}
+	moved := e.stats.Bytes - before
+	e.membership.RebalancedBytes += moved
+	e.lastMembership.RebalancedBytes += moved
+	return nil
+}
+
+// evict removes worker w from the collective: it counts the shards w owned
+// in the membership assignment (they must find new owners), releases w's
+// goroutine, unhooks its gradient notifications, and drops it from its
+// hierarchy node — a node left empty disappears from the inter tier.
+func (e *Engine) evict(w int) {
+	members := e.liveIDs()
+	var owned int64
+	for s := 0; s < e.shards; s++ {
+		if members[s%len(members)] == w {
+			owned++
+		}
+	}
+	e.membership.Evictions++
+	e.membership.RebalancedShards += owned
+	e.lastMembership.Evictions++
+	e.lastMembership.RebalancedShards += owned
+
+	e.alive[w] = false
+	e.world--
+	close(e.jobs[w])
+	if e.cfg.Overlap {
+		e.replicas[w].SetGradNotify(nil)
+	}
+	for n, nodeMembers := range e.nodes {
+		for i, m := range nodeMembers {
+			if m == w {
+				e.nodes[n] = append(nodeMembers[:i:i], nodeMembers[i+1:]...)
+				break
+			}
+		}
+	}
+}

@@ -209,3 +209,32 @@ func TestWarmupForMirrorsPaper(t *testing.T) {
 		t.Errorf("extreme batch warmup = %v, want 12", s.WarmupFor(2048))
 	}
 }
+
+// TestElasticityStudyDeterministic: the elasticity exhibit rides in the
+// docs-drift-checked analytic subset, so two generations must render
+// bit-identically, every model cross-check must be exact, and the scripted
+// preemption must actually evict.
+func TestElasticityStudyDeterministic(t *testing.T) {
+	a, err := ElasticityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ElasticityStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Fatal("ElasticityStudy does not regenerate bit-identically")
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("study has %d rows, want central/tree/ring/hierarchy", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if row[6] != "exact" {
+			t.Fatalf("%s: degraded schedule drifted from the closed form: %s", row[0], row[6])
+		}
+		if row[2] == "step -1" {
+			t.Fatalf("%s: the scripted death never led to an eviction", row[0])
+		}
+	}
+}

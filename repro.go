@@ -16,7 +16,8 @@
 //	                    (intra-node + inter-node) composition with per-tier
 //	                    accounting, gradient bucketing, 1-bit/FP16 payload
 //	                    codecs, deterministic fault injection with exact
-//	                    recovery
+//	                    recovery, elastic membership (dead workers evicted,
+//	                    shards rebalanced, training continues on P−1)
 //	internal/comm       alpha-beta cost model, energy model
 //	internal/cluster    calibrated machine profiles + time simulator
 //	internal/core       the large-batch Trainer (the paper's recipe)
@@ -193,8 +194,20 @@ type (
 	// EngineConfig's Overlap field).
 	OverlapStats = dist.OverlapStats
 	// FaultPlan injects deterministic drops/stalls into the engine's
-	// reduction schedule; recovery is exact.
+	// reduction schedule; recovery is exact. Workers it marks permanently
+	// Dead never recover — pair with ElasticPolicy.
 	FaultPlan = dist.FaultPlan
+	// ElasticPolicy enables elastic membership: a worker whose recovery
+	// fails EvictAfter consecutive steps is evicted, its shards rebalance
+	// over the surviving P−1 workers, and training continues at the
+	// smaller world size.
+	ElasticPolicy = dist.Elastic
+	// MembershipStats accounts elastic-membership activity: evictions,
+	// rebalanced shards and resync bytes, and steps per world size.
+	MembershipStats = dist.MembershipStats
+	// WorkerDeadError is the typed error a permanently dead worker
+	// surfaces when elastic membership is disabled.
+	WorkerDeadError = dist.WorkerDeadError
 	// PayloadCodec compresses gradient exchange payloads on the wire
 	// (see FP16Codec and NewOneBitCodec).
 	PayloadCodec = dist.Codec
@@ -262,6 +275,17 @@ var (
 // Simulate prices one training run on a cluster (Tables 2, 8, 9).
 func Simulate(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int) Estimate {
 	return cluster.Simulate(c, spec, batch, epochs, datasetSize)
+}
+
+// ElasticEstimate prices a run whose fleet degrades mid-training.
+type ElasticEstimate = cluster.ElasticEstimate
+
+// SimulateElastic prices a fixed-epoch run during which the fleet shrinks:
+// each entry of evictAtFrac loses one device at that fraction of the run's
+// iterations, the survivors absorb the work, and the result reports the
+// per-phase timeline plus the time-to-accuracy cost versus a healthy fleet.
+func SimulateElastic(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, evictAtFrac []float64) ElasticEstimate {
+	return cluster.SimulateElastic(c, spec, batch, epochs, datasetSize, evictAtFrac)
 }
 
 // DGX1 returns one 8xP100 DGX-1 station.
