@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/kernel"
 	"repro/internal/models"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -73,6 +74,76 @@ func BenchmarkAllreduce(b *testing.B) {
 				b.ReportMetric(float64(stats.Steps), "rounds/op")
 			})
 		}
+	}
+}
+
+// BenchmarkReduction compares the two reduction-policy kernels on the
+// engine's own hot path: an 8-shard sum over tensors up to ResNet-50's
+// full gradient. canonical-f64 is the strict-order float64 discipline,
+// pairwise-f32 the fixed-tree float32 kernel — the measured gap is the
+// ROADMAP's "vectorizable f32 pairwise summation" payoff. CI runs this at
+// -benchtime 1x as a smoke test.
+func BenchmarkReduction(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"64K", 1 << 16},
+		{"1M", 1 << 20},
+		{"resnet50", int(models.ResNet50Spec().ParamCount())},
+	}
+	for _, policy := range []dist.Reduction{dist.CanonicalF64, dist.PairwiseF32} {
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("%s/%s", policy, size.name), func(b *testing.B) {
+				const shards = 8
+				r := rng.New(1)
+				srcs := make([][]float32, shards)
+				for s := range srcs {
+					srcs[s] = make([]float32, size.n)
+					for j := 0; j < size.n; j += 127 {
+						srcs[s][j] = r.NormFloat32()
+					}
+				}
+				dst := make([]float32, size.n)
+				b.SetBytes(int64(shards * 4 * size.n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if policy == dist.PairwiseF32 {
+						kernel.PairwiseAccumulate(dst, srcs, nil)
+					} else {
+						kernel.CanonicalAccumulate(dst, srcs, nil)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGemm times the blocked GEMM micro-kernels behind every conv and
+// linear layer (tensor.Gemm lowers onto internal/kernel) at the layer
+// shapes the micro models hit and at a square compute-bound size. CI runs
+// this at -benchtime 1x as a smoke test.
+func BenchmarkGemm(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"conv-lowered/32x27x256", 32, 27, 256}, // first conv: [outC, inC·k·k]·[k·k·inC, outH·outW]
+		{"square/256", 256, 256, 256},
+		{"fc/512x1024x64", 512, 1024, 64},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			r := rng.New(2)
+			a := tensor.RandNormal(r, 1, sh.m, sh.k)
+			x := tensor.RandNormal(r, 1, sh.k, sh.n)
+			c := tensor.New(sh.m, sh.n)
+			b.SetBytes(int64(2 * sh.m * sh.k * sh.n * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(false, false, 1, a, x, 0, c)
+			}
+		})
 	}
 }
 

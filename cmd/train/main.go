@@ -43,6 +43,19 @@
 // stragglers at the given per-(step,worker) probability; recovery is exact
 // (values unaffected, retries and stalls accounted).
 //
+// # Hot-loop knobs
+//
+// -reduction selects the gradient-reduction arithmetic: canonical (the
+// default — strict float64 accumulation in canonical shard order) or
+// pairwise (the fixed-tree float32 kernel in internal/kernel — faster, and
+// still bit-identical across -workers, topologies and -overlap for a
+// pinned -shards split, because the summation tree's shape depends only on
+// the shard count). -profile turns on the per-step phase profiler: the
+// final report adds a line splitting hot-loop wall time into
+// gemm/im2col/reduce/codec/other shares that sum exactly to the profiled
+// wall time — the measured answer to "is this run compute- or
+// reduction-bound?".
+//
 // # Elastic membership (preemptible fleets)
 //
 // -fault-dead kills workers permanently: "3@40" makes worker 3 answer
@@ -90,6 +103,15 @@
 //	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
 //	      -warmup 2 -workers 4 -algo ring -fault-dead 3@40 \
 //	      -elastic -evict-after 3
+//
+// The paper's recipe on the fast reduction kernel, with the hot loop
+// profiled — the final lines report the phase shares and pin the run to
+// the pairwise-f32 summation tree (bit-identical for any -workers at this
+// -shards split):
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -shards 4 -algo ring \
+//	      -reduction pairwise -profile
 package main
 
 import (
@@ -128,6 +150,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
 		bucket     = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
 		overlap    = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
+		reduction  = flag.String("reduction", "canonical", "gradient reduction arithmetic: canonical (f64 canonical order) | pairwise (fixed-tree f32 kernel)")
+		profile    = flag.Bool("profile", false, "profile the hot loop per step and report gemm/im2col/reduce/codec/other wall-time shares")
 		codec      = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
 		dropRate   = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
 		stallRate  = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
@@ -212,6 +236,16 @@ func main() {
 		}
 	}
 
+	var reductionPolicy dist.Reduction
+	switch *reduction {
+	case "canonical":
+		reductionPolicy = dist.CanonicalF64
+	case "pairwise":
+		reductionPolicy = dist.PairwiseF32
+	default:
+		log.Fatalf("unknown reduction %q", *reduction)
+	}
+
 	var payloadCodec dist.Codec
 	switch *codec {
 	case "":
@@ -257,6 +291,8 @@ func main() {
 		Shards:       *shards,
 		Bucket:       *bucket,
 		Overlap:      *overlap,
+		Reduction:    reductionPolicy,
+		Profile:      *profile,
 		Codec:        payloadCodec,
 		Faults:       faults,
 		Elastic:      policy,
@@ -311,6 +347,9 @@ func main() {
 		fmt.Printf("membership: evictions=%d rebalanced_shards=%d resync_bytes=%d world_timeline=%s\n",
 			res.Membership.Evictions, res.Membership.RebalancedShards,
 			res.Membership.RebalancedBytes, res.Membership.Timeline())
+	}
+	if *profile {
+		fmt.Printf("profile: %s\n", res.Profile)
 	}
 	if res.Diverged {
 		os.Exit(2)

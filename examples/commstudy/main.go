@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 
 	"repro"
 	"repro/internal/cluster"
@@ -229,6 +230,56 @@ func main() {
 		fmt.Printf("  post-eviction step == comm.ExpectedStatsAt(ring, P=%d, evicted=%d): %v\n",
 			workers, m.Evictions, post == model)
 		e.Close()
+	}
+
+	fmt.Println("\n== Hot-loop kernels: canonical-f64 vs pairwise-f32 reduction ==")
+	// The reduction arithmetic is the one policy knob the reproducibility
+	// contract leaves open (dist.Config.Reduction). Run both over the same
+	// buffers: values differ only by rounding, every topology stays
+	// bit-identical under either, and the fixed-tree pairwise-f32 kernel
+	// is the faster sum (see the HotLoop study in EXPERIMENTS.md and
+	// BenchmarkReduction for the measured throughputs).
+	{
+		const workers = 8
+		mkBufs := func() [][]float32 {
+			r := rng.New(3)
+			bufs := make([][]float32, workers)
+			for i := range bufs {
+				bufs[i] = make([]float32, weights)
+				for j := range bufs[i] {
+					bufs[i][j] = r.NormFloat32()
+				}
+			}
+			return bufs
+		}
+		results := map[dist.Reduction][]float32{}
+		for _, policy := range []dist.Reduction{dist.CanonicalF64, dist.PairwiseF32} {
+			var ref []float32
+			for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {
+				bufs := mkBufs()
+				dist.ReduceWith(algo, policy, bufs, nil)
+				if ref == nil {
+					ref = bufs[0]
+					continue
+				}
+				for i := range ref {
+					if ref[i] != bufs[0][i] {
+						panic(fmt.Sprintf("%v: %v reduction differs across algorithms", policy, algo))
+					}
+				}
+			}
+			results[policy] = ref
+			fmt.Printf("  %-14s bit-identical across central/tree/ring: true\n", policy)
+		}
+		var maxDiff float64
+		canon, pair := results[dist.CanonicalF64], results[dist.PairwiseF32]
+		for i := range canon {
+			if d := math.Abs(float64(canon[i] - pair[i])); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		fmt.Printf("  max |canonical - pairwise| over %d coords: %.2e (pure rounding; pairwise error is O(log P)*eps)\n",
+			weights, maxDiff)
 	}
 
 	fmt.Println("\n== Table 12: energy — data movement dwarfs arithmetic ==")

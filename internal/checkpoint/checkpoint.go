@@ -9,6 +9,20 @@
 // replicas to restart from the same state. The tests verify that a run
 // interrupted and resumed from a checkpoint is bit-identical to an
 // uninterrupted one.
+//
+// Beyond weights, a checkpoint can carry the two pieces of engine state a
+// faulty compressed run needs to resume exactly:
+//
+//   - the 1-bit codec's per-slot error-feedback residuals
+//     (CaptureOneBit/RestoreOneBit) — without them the first post-resume
+//     quantization loses the carried error and every later step diverges
+//     from the uninterrupted run;
+//
+//   - the fault-plan cursor: Checkpoint.Step is the engine's absolute step
+//     counter, which keys dist.FaultPlan's deterministic schedule. Pass it
+//     as dist.Config.StartStep when rebuilding the engine so the remaining
+//     steps roll the same drops, stalls and deaths as the uninterrupted
+//     run (and eviction timelines line up under Config.Elastic).
 package checkpoint
 
 import (
@@ -18,7 +32,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/nn"
 )
 
@@ -78,6 +95,38 @@ func (c *Checkpoint) ApplyToNetwork(net *nn.Network) error {
 				p.Name, len(data), len(p.W.Data))
 		}
 		copy(p.W.Data, data)
+	}
+	return nil
+}
+
+// oneBitPrefix names the sections carrying 1-bit codec residuals; the
+// suffix is the codec slot id.
+const oneBitPrefix = "codec1bit:slot:"
+
+// CaptureOneBit appends the codec's per-slot error-feedback residuals as
+// sections, one per slot. Pair with Checkpoint.Step (the engine's step
+// counter at snapshot time) so a compressed faulty run can resume
+// bit-identically: restore the residuals into a fresh codec with
+// RestoreOneBit and rebuild the engine with dist.Config.StartStep set.
+func (c *Checkpoint) CaptureOneBit(z *dist.OneBitCodec) {
+	for _, slot := range z.Slots() {
+		c.Add(oneBitPrefix+strconv.Itoa(slot), z.SlotResidual(slot))
+	}
+}
+
+// RestoreOneBit installs every captured residual section into z. Sections
+// with other names are ignored; a checkpoint without codec sections leaves
+// z untouched (a run that never quantized has no state to restore).
+func (c *Checkpoint) RestoreOneBit(z *dist.OneBitCodec) error {
+	for _, s := range c.Sections {
+		if !strings.HasPrefix(s.Name, oneBitPrefix) {
+			continue
+		}
+		slot, err := strconv.Atoi(s.Name[len(oneBitPrefix):])
+		if err != nil {
+			return fmt.Errorf("checkpoint: bad codec section name %q: %w", s.Name, err)
+		}
+		z.RestoreSlot(slot, s.Data)
 	}
 	return nil
 }

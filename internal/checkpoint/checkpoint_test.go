@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -224,5 +225,151 @@ func TestResumeIsBitIdentical(t *testing.T) {
 					pa[i].Name, j, pc[i].W.Data[j], pa[i].W.Data[j])
 			}
 		}
+	}
+}
+
+// TestFaultyCompressedRunResumesBitIdentical is the engine-state round
+// trip: a run with 1-bit compression (stateful error feedback) and a
+// deterministic fault plan is interrupted mid-flight, its codec residuals
+// and fault-plan cursor checkpointed, and the resumed run must match the
+// uninterrupted one bit for bit — both the reduced values (which the
+// residuals feed) and the per-step recovery schedule (which the step
+// cursor keys).
+func TestFaultyCompressedRunResumesBitIdentical(t *testing.T) {
+	r := rng.New(7)
+	x := tensor.RandNormal(r, 1, 24, 1, 4, 4)
+	labels := make([]int, 24)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	mk := func(seed uint64) *nn.Network {
+		return models.NewMLP(models.MicroConfig{Classes: 3, InC: 1, InH: 4, InW: 4, Width: 2, Seed: seed})
+	}
+	newEngine := func(codec *dist.OneBitCodec, startStep int64) *dist.Engine {
+		replicas := []*nn.Network{mk(1), mk(2), mk(3)}
+		return dist.NewEngine(dist.Config{
+			Algo:        dist.Tree,
+			Shards:      3,
+			BucketElems: 40, // several buckets, several codec slots
+			Codec:       codec,
+			Faults:      &dist.FaultPlan{Seed: 11, DropRate: 0.4, StallRate: 0.3},
+			StartStep:   startStep,
+		}, replicas)
+	}
+	step := func(e *dist.Engine, o *opt.SGD) dist.CommStats {
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			t.Fatal(err)
+		}
+		o.Step(0.05)
+		if err := e.BroadcastWeights(); err != nil {
+			t.Fatal(err)
+		}
+		return e.StepStats()
+	}
+
+	const total, cut = 8, 4
+
+	// Uninterrupted reference: weights and per-step schedules of all steps.
+	refCodec := dist.NewOneBitCodec()
+	ref := newEngine(refCodec, 0)
+	refOpt := opt.NewSGD(ref.Master().Params(), opt.SGDConfig{Momentum: 0.9})
+	var refStats []dist.CommStats
+	for s := 0; s < total; s++ {
+		refStats = append(refStats, step(ref, refOpt))
+	}
+
+	// Interrupted run: cut steps, then snapshot weights + optimizer
+	// velocity + codec residuals + the step cursor.
+	codecB := dist.NewOneBitCodec()
+	runB := newEngine(codecB, 0)
+	optB := opt.NewSGD(runB.Master().Params(), opt.SGDConfig{Momentum: 0.9})
+	for s := 0; s < cut; s++ {
+		step(runB, optB)
+	}
+	ck := FromNetwork(runB.Master(), cut)
+	for i, p := range runB.Master().Params() {
+		ck.Add("velocity:"+p.Name, optB.Velocity(i).Data)
+	}
+	ck.CaptureOneBit(codecB)
+	runB.Close()
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: fresh replicas, restored weights/velocity/residuals, and the
+	// engine's step counter at the checkpointed cursor so the remaining
+	// fault rolls line up.
+	codecC := dist.NewOneBitCodec()
+	if err := loaded.RestoreOneBit(codecC); err != nil {
+		t.Fatal(err)
+	}
+	runC := newEngine(codecC, loaded.Step)
+	defer runC.Close()
+	if err := loaded.ApplyToNetwork(runC.Master()); err != nil {
+		t.Fatal(err)
+	}
+	optC := opt.NewSGD(runC.Master().Params(), opt.SGDConfig{Momentum: 0.9})
+	for i, p := range runC.Master().Params() {
+		v := loaded.Find("velocity:" + p.Name)
+		if v == nil {
+			t.Fatalf("missing velocity for %s", p.Name)
+		}
+		copy(optC.Velocity(i).Data, v)
+	}
+	if err := runC.BroadcastWeights(); err != nil { // push restored weights to all replicas
+		t.Fatal(err)
+	}
+	for s := cut; s < total; s++ {
+		got := step(runC, optC)
+		if got != refStats[s] {
+			t.Fatalf("step %d schedule diverged after resume: %+v vs %+v", s, got, refStats[s])
+		}
+	}
+	pa, pc := ref.Master().Params(), runC.Master().Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pc[i].W.Data[j] {
+				t.Fatalf("resumed faulty run diverged at %s[%d]: %v vs %v",
+					pa[i].Name, j, pc[i].W.Data[j], pa[i].W.Data[j])
+			}
+		}
+	}
+	ref.Close()
+
+	// Negative control: resuming without the residuals (fresh codec state)
+	// must NOT reproduce the uninterrupted run — the carried error is real
+	// state, which is why the checkpoint captures it.
+	codecD := dist.NewOneBitCodec()
+	runD := newEngine(codecD, loaded.Step)
+	defer runD.Close()
+	if err := loaded.ApplyToNetwork(runD.Master()); err != nil {
+		t.Fatal(err)
+	}
+	optD := opt.NewSGD(runD.Master().Params(), opt.SGDConfig{Momentum: 0.9})
+	for i, p := range runD.Master().Params() {
+		copy(optD.Velocity(i).Data, loaded.Find("velocity:"+p.Name))
+	}
+	if err := runD.BroadcastWeights(); err != nil {
+		t.Fatal(err)
+	}
+	for s := cut; s < total; s++ {
+		step(runD, optD)
+	}
+	same := true
+	pd := runD.Master().Params()
+	for i := range pc {
+		for j := range pc[i].W.Data {
+			if pc[i].W.Data[j] != pd[i].W.Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("dropping the codec residuals changed nothing — the capture is vacuous")
 	}
 }

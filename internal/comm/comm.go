@@ -7,6 +7,14 @@
 // The package is purely analytic — it prices communication patterns that
 // internal/dist executes for real — so the measured byte/message counters
 // from dist can be cross-checked against these formulas in tests.
+//
+// Every closed form here is independent of the engine's reduction policy
+// (dist.Config.Reduction): CanonicalF64 and PairwiseF32 change only the
+// summation arithmetic inside a worker, never the message schedule, so the
+// same ExpectedStats/ExpectedTierStats/ExpectedOverlapStats twins hold for
+// both. The *compute* side of the hot loop is measured, not modeled: the
+// per-step phase profiler (dist.ProfileStats, the HotLoop study) reports
+// where step wall time actually goes.
 package comm
 
 import (

@@ -15,6 +15,8 @@ package compress
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/kernel"
 )
 
 // OneBit is a quantized gradient: one bit per coordinate plus two scales.
@@ -116,6 +118,19 @@ func (q *OneBit) Decode(dst []float32) {
 	}
 }
 
+// Residual returns the carried error-feedback residual. The slice is the
+// quantizer's live state — copy it before mutating or serializing lazily.
+func (z *Quantizer) Residual() []float32 { return z.residual }
+
+// SetResidual overwrites the carried residual (copying r), restoring
+// checkpointed error-feedback state. The length must match the quantizer's.
+func (z *Quantizer) SetResidual(r []float32) {
+	if len(r) != len(z.residual) {
+		panic(fmt.Sprintf("compress: residual has %d coords, quantizer built for %d", len(r), len(z.residual)))
+	}
+	copy(z.residual, r)
+}
+
 // ResidualNorm returns the L2 norm of the carried error (diagnostic).
 func (z *Quantizer) ResidualNorm() float64 {
 	var s float64
@@ -127,29 +142,31 @@ func (z *Quantizer) ResidualNorm() float64 {
 
 // CompressedAllreduce performs a parameter-server style gradient exchange
 // with 1-bit compression in both directions: each worker's gradient is
-// quantized (with that worker's quantizer), the master sums the
-// reconstructions, and the mean is returned along with the exact and
-// compressed byte counts. Buffers must share a length equal to the
-// quantizers'.
+// quantized (with that worker's quantizer), the master sums the decoded
+// reconstructions through the fixed-tree kernel summation (so the mean is
+// a pure function of the worker set, independent of any accumulation
+// order the caller might otherwise impose), and the mean is returned along
+// with the exact and compressed byte counts. Buffers must share a length
+// equal to the quantizers'.
 func CompressedAllreduce(grads [][]float32, quantizers []*Quantizer) (mean []float32, exactBytes, wireBytes int64) {
 	if len(grads) != len(quantizers) {
 		panic("compress: one quantizer per worker required")
 	}
 	n := len(grads[0])
-	mean = make([]float32, n)
-	recon := make([]float32, n)
+	recons := make([][]float32, len(grads))
 	for w, g := range grads {
 		q := quantizers[w].Encode(g)
-		q.Decode(recon)
-		for i, v := range recon {
-			mean[i] += v
-		}
+		recons[w] = make([]float32, n)
+		q.Decode(recons[w])
 		exactBytes += int64(4 * n)
 		wireBytes += q.Bytes()
 	}
+	mean = make([]float32, n)
+	scales := make([]float32, len(grads))
 	inv := 1 / float32(len(grads))
-	for i := range mean {
-		mean[i] *= inv
+	for w := range scales {
+		scales[w] = inv
 	}
+	kernel.PairwiseAccumulate(mean, recons, scales)
 	return mean, exactBytes, wireBytes
 }

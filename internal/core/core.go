@@ -92,9 +92,23 @@ type Config struct {
 	// Result.Overlap reports how much of the schedule hid behind the
 	// backward. Pair with Bucket — a single bucket cannot hide.
 	Overlap bool
+	// Reduction selects the gradient-reduction arithmetic
+	// (dist.Config.Reduction): CanonicalF64 — the default float64
+	// canonical-order sum — or PairwiseF32, the fixed-tree float32 kernel.
+	// Either policy keeps runs bit-identical across Workers, topologies
+	// and Overlap for a pinned shard split; the two policies round
+	// differently from each other, so pin the policy too when comparing
+	// trajectories.
+	Reduction dist.Reduction
 	// Codec optionally compresses gradient exchange payloads (lossy;
 	// dist.FP16Codec, dist.NewOneBitCodec).
 	Codec dist.Codec
+	// Profile enables the per-step phase profiler (dist.Config.Profile):
+	// Result.Profile then reports hot-loop wall time split into
+	// gemm/im2col/reduce/codec/other buckets that sum exactly to the
+	// profiled wall time. The profiler is process-global — run one
+	// profiled trainer at a time.
+	Profile bool
 	// Faults optionally injects deterministic drops/stalls into the
 	// reduction schedule; recovery is exact (see dist.FaultPlan). Workers
 	// the plan marks permanently Dead need Elastic, or Train returns a
@@ -225,6 +239,10 @@ type Result struct {
 	// steps executed at each world size. Zero evictions unless
 	// Config.Elastic was set and the fault plan killed a worker.
 	Membership dist.MembershipStats
+	// Profile splits the run's hot-loop wall time into
+	// gemm/im2col/reduce/codec/other phase buckets (summing exactly to
+	// Profile.WallNS). Zero unless Config.Profile was set.
+	Profile dist.ProfileStats
 }
 
 // Train runs the configured recipe on the dataset and returns the result.
@@ -244,7 +262,8 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	}
 	engine := dist.NewEngine(dist.Config{
 		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
-		Overlap: cfg.Overlap, Codec: cfg.Codec, Faults: cfg.Faults, Elastic: cfg.Elastic,
+		Overlap: cfg.Overlap, Reduction: cfg.Reduction, Codec: cfg.Codec,
+		Faults: cfg.Faults, Elastic: cfg.Elastic, Profile: cfg.Profile,
 	}, replicas)
 	defer engine.Close()
 
@@ -377,6 +396,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	res.TierComm = engine.TierStats()
 	res.Overlap = engine.OverlapStats()
 	res.Membership = engine.Membership()
+	res.Profile = engine.Profile()
 	res.Wall = time.Since(start)
 	return res, nil
 }

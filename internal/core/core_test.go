@@ -421,3 +421,100 @@ func TestDeadWorkerWithoutElasticityErrors(t *testing.T) {
 		t.Fatalf("dead worker %d, want 1", dead.Worker)
 	}
 }
+
+// TestPairwiseTrainerBitIdenticalAcrossWorkersAndTopology is the
+// trainer-level acceptance criterion of the pairwise-f32 policy: with the
+// shard split pinned, whole training runs — losses and accuracies, epoch
+// by epoch — are bit-identical across worker counts, flat vs hierarchical
+// topologies, and overlap on/off.
+func TestPairwiseTrainerBitIdenticalAcrossWorkersAndTopology(t *testing.T) {
+	ds := tinyDataset()
+	hier := dist.NewHierarchy(2, 2)
+	run := func(workers int, topology *dist.Hierarchy, bucket int, overlap bool) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: workers, Shards: 4,
+			Algo: dist.Ring, Topology: topology, Bucket: bucket, Overlap: overlap,
+			Reduction: dist.PairwiseF32,
+			Batch:     64, Epochs: 3, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1, nil, 0, false)
+	for _, tc := range []struct {
+		label string
+		res   *Result
+	}{
+		{"P=2 flat", run(2, nil, 0, false)},
+		{"P=4 flat", run(4, nil, 0, false)},
+		{"P=4 hierarchical", run(4, &hier, 0, false)},
+		{"P=4 overlap", run(4, nil, 33, true)},
+	} {
+		if len(tc.res.History) != len(ref.History) {
+			t.Fatalf("%s: history lengths differ", tc.label)
+		}
+		for e := range ref.History {
+			a, b := ref.History[e], tc.res.History[e]
+			if a.TrainLoss != b.TrainLoss {
+				t.Fatalf("%s: epoch %d loss %v differs bitwise from reference %v", tc.label, e, b.TrainLoss, a.TrainLoss)
+			}
+			if !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) && a.TestAcc != b.TestAcc {
+				t.Fatalf("%s: epoch %d accuracy differs bitwise", tc.label, e)
+			}
+		}
+	}
+	// The two policies really differ: a canonical run from the same seed
+	// must not match the pairwise trajectory bit for bit.
+	canon, err := Train(Config{
+		Model: mlpFactory(4), Workers: 1, Shards: 4, Algo: dist.Ring,
+		Batch: 64, Epochs: 3, Method: LARSWarmup,
+		BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for e := range ref.History {
+		if canon.History[e].TrainLoss != ref.History[e].TrainLoss {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("canonical and pairwise trajectories agree bitwise — the policy is not reaching the engine")
+	}
+}
+
+// TestTrainProfileSurfaced: Config.Profile threads through to
+// Result.Profile with the sums-to-wall invariant intact.
+func TestTrainProfileSurfaced(t *testing.T) {
+	ds := tinyDataset()
+	res, err := Train(Config{
+		Model: mlpFactory(4), Workers: 2, Batch: 64, Epochs: 2,
+		Method: BaselineSGD, BaseLR: 0.1, Seed: 4, Profile: true,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.WallNS <= 0 || p.GemmNS <= 0 {
+		t.Fatalf("profile not populated: %+v", p)
+	}
+	if p.Accounted() != p.WallNS {
+		t.Fatalf("profile phases sum to %d ns, wall is %d ns", p.Accounted(), p.WallNS)
+	}
+
+	// And without the flag the result stays zero.
+	res, err = Train(Config{
+		Model: mlpFactory(4), Workers: 2, Batch: 64, Epochs: 1,
+		Method: BaselineSGD, BaseLR: 0.1, Seed: 4,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != (dist.ProfileStats{}) {
+		t.Fatalf("unprofiled run reported profile stats: %+v", res.Profile)
+	}
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/compress"
@@ -67,6 +68,43 @@ func NewOneBitCodec() *OneBitCodec {
 
 // Name implements Codec.
 func (c *OneBitCodec) Name() string { return "1bit" }
+
+// Slots returns the slot ids currently carrying error-feedback state, in
+// ascending order — the state internal/checkpoint snapshots so a 1-bit
+// run can resume bit-identically.
+func (c *OneBitCodec) Slots() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.slots))
+	for slot := range c.slots {
+		out = append(out, slot)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SlotResidual returns a copy of the error-feedback residual carried for
+// slot, or nil when the slot has no state yet.
+func (c *OneBitCodec) SlotResidual(slot int) []float32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	z := c.slots[slot]
+	if z == nil {
+		return nil
+	}
+	return append([]float32(nil), z.Residual()...)
+}
+
+// RestoreSlot installs a residual for slot (copying it), creating the
+// slot's quantizer at the residual's length — the restore half of the
+// checkpoint round trip.
+func (c *OneBitCodec) RestoreSlot(slot int, residual []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	z := compress.NewQuantizer(len(residual))
+	z.SetResidual(residual)
+	c.slots[slot] = z
+}
 
 // Transform implements Codec.
 func (c *OneBitCodec) Transform(slot int, data []float32) int64 {

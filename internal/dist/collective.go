@@ -3,8 +3,43 @@ package dist
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 )
+
+// Reduction selects the arithmetic of the gradient-sum phase — the one
+// degree of freedom the reproducibility contract leaves open. Both
+// disciplines are deterministic and independent of worker count, topology
+// and goroutine chunking; they differ in accumulator precision and speed.
+type Reduction int
+
+const (
+	// CanonicalF64 is the historical default: a strict left-to-right sum
+	// in canonical shard order with float64 accumulation. Maximum
+	// precision, but the per-coordinate float64 dependency chain is the
+	// hot loop's bottleneck at scale.
+	CanonicalF64 Reduction = iota
+	// PairwiseF32 sums in float32 through a fixed-shape pairwise tree
+	// (internal/kernel): the tree depends only on the number of summands,
+	// never on worker count or chunking, so results remain bit-identical
+	// across P, topologies, shard-to-worker assignments and overlap — the
+	// same invariances CanonicalF64 has — while the unrolled
+	// multi-accumulator float32 loops run substantially faster and the
+	// O(log n)·ε pairwise error stays far below the naive float32 sum's.
+	PairwiseF32
+)
+
+// String implements fmt.Stringer.
+func (r Reduction) String() string {
+	switch r {
+	case CanonicalF64:
+		return "canonical-f64"
+	case PairwiseF32:
+		return "pairwise-f32"
+	default:
+		return fmt.Sprintf("Reduction(%d)", int(r))
+	}
+}
 
 // Reduce performs the gradient-sum phase of one allreduce over the workers'
 // equal-length buffers: the element-wise sum of all buffers lands in
@@ -14,15 +49,22 @@ import (
 //
 // Per the package's reproducibility contract the sum is computed in
 // canonical worker order with float64 accumulation, so all three algorithms
-// return bitwise-identical values.
+// return bitwise-identical values. ReduceWith selects the arithmetic.
 func Reduce(algo Algorithm, bufs [][]float32, stats *CommStats) {
+	ReduceWith(algo, CanonicalF64, bufs, stats)
+}
+
+// ReduceWith is Reduce under an explicit reduction policy. Either policy
+// keeps the three algorithms bitwise identical to each other; what changes
+// is the summation arithmetic itself (see Reduction).
+func ReduceWith(algo Algorithm, policy Reduction, bufs [][]float32, stats *CommStats) {
 	p := len(bufs)
 	if p == 0 {
 		return
 	}
 	n := checkUniform("Reduce", bufs)
 	if p > 1 {
-		canonicalSum(bufs)
+		sumInto(policy, bufs)
 		if algo == Ring {
 			fanOut(bufs)
 		}
@@ -50,20 +92,23 @@ func Broadcast(algo Algorithm, bufs [][]float32, stats *CommStats) {
 	}
 }
 
-// canonicalSum computes the element-wise sum of all buffers into bufs[0] in
-// canonical worker order with float64 accumulation — the one reduction
-// arithmetic every topology (flat or hierarchical) shares, which is what
-// makes topology choice a pure accounting decision.
-func canonicalSum(bufs [][]float32) {
+// sumInto computes the element-wise sum of all buffers into bufs[0] under
+// the selected policy, parallelized over coordinate chunks. Both policies
+// are chunking-invariant (CanonicalF64 per coordinate trivially;
+// PairwiseF32 because its tree runs over the worker index), which is what
+// makes topology — and goroutine count — a pure accounting decision.
+func sumInto(policy Reduction, bufs [][]float32) {
+	defer kernel.StartPhase(kernel.PhaseReduce).End()
 	root := bufs[0]
-	p := len(bufs)
 	par.ForGrain(len(root), 2048, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			acc := float64(root[i])
-			for w := 1; w < p; w++ {
-				acc += float64(bufs[w][i])
-			}
-			root[i] = float32(acc)
+		sub := make([][]float32, len(bufs))
+		for w, b := range bufs {
+			sub[w] = b[lo:hi]
+		}
+		if policy == PairwiseF32 {
+			kernel.PairwiseAccumulate(root[lo:hi], sub, nil)
+		} else {
+			kernel.CanonicalAccumulate(root[lo:hi], sub, nil)
 		}
 	})
 }

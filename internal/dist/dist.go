@@ -43,9 +43,13 @@
 //
 // # Reproducibility contract
 //
-// The engine executes the reduction arithmetic once per coordinate, in
-// canonical shard order with a float64 accumulator, and separately accounts
-// the message schedule of the selected topology. Consequences, all tested:
+// The engine executes the reduction arithmetic once per coordinate — under
+// the default CanonicalF64 policy a strict canonical-shard-order float64
+// accumulation, under PairwiseF32 a fixed-shape pairwise float32 tree
+// whose shape depends only on the live shard count (Config.Reduction; both
+// implemented in internal/kernel) — and separately accounts the message
+// schedule of the selected topology. Consequences, all tested for both
+// policies:
 //
 //   - the three algorithms — and any two-tier Hierarchy composed from
 //     them — produce bitwise-identical reductions (real collectives do not

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/data"
+	"repro/internal/kernel"
 	"repro/internal/nn"
 	"repro/internal/par"
 	"repro/internal/tensor"
@@ -51,9 +52,32 @@ type Config struct {
 	// parameter, weight broadcasts, recovery traffic). Pair with
 	// BucketElems — with a single bucket nothing can hide.
 	Overlap bool
+	// Reduction selects the arithmetic of the gradient reduction:
+	// CanonicalF64 (the default — strict left-to-right float64
+	// accumulation in canonical shard order) or PairwiseF32 (the
+	// fixed-tree float32 kernel; faster, still bit-identical across
+	// worker counts, topologies, shard-to-worker assignments and
+	// overlap, because the tree shape depends only on the live shard
+	// count). Changing the policy changes the reduced values slightly
+	// (different rounding), so pin it across runs being compared.
+	Reduction Reduction
 	// Codec optionally compresses every reduction payload on the wire
 	// (lossy; see FP16Codec and OneBitCodec). nil exchanges raw float32.
 	Codec Codec
+	// Profile enables the per-step phase profiler: hot-loop wall time is
+	// attributed to gemm/im2col/reduce/codec phases (internal/kernel's
+	// global profiler) and surfaced as ProfileStats whose five buckets
+	// sum exactly to the measured step wall time. The profiler is
+	// process-global — profile one engine at a time.
+	Profile bool
+	// StartStep sets the engine's initial step counter — the cursor that
+	// keys the deterministic fault schedule (FaultPlan rolls are a pure
+	// function of the absolute step) and the membership timeline. Resuming
+	// a checkpointed run with StartStep = Checkpoint.Step makes the
+	// remaining steps' fault rolls, recovery traffic and (with restored
+	// codec residuals) reduced values bit-identical to the uninterrupted
+	// run. 0 starts fresh.
+	StartStep int64
 	// Faults optionally injects deterministic drops and stalls into the
 	// reduction schedule. Recovery is exact: values are unaffected. A
 	// worker the plan marks permanently Dead never recovers — pair with
@@ -130,6 +154,9 @@ type Engine struct {
 	lastOverlap    OverlapStats
 	membership     MembershipStats
 	lastMembership MembershipStats
+	profile        ProfileStats // cumulative phase profile (Config.Profile only)
+	lastProfile    ProfileStats // phase profile of the most recent step
+	profActive     bool         // true once construction is done: the profile covers training steps, not setup
 	closed         bool
 }
 
@@ -200,6 +227,10 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 		consecDead:  make([]int, len(replicas)),
 		shards:      cfg.Shards,
 		shardsTrack: trackWorld,
+		steps:       cfg.StartStep,
+	}
+	if cfg.Profile {
+		kernel.SetProfiling(true)
 	}
 	for w := range e.alive {
 		e.alive[w] = true
@@ -246,6 +277,7 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	if err := e.BroadcastWeights(); err != nil {
 		panic(err) // replicas were just validated to share the architecture
 	}
+	e.profActive = true // the profile covers training steps, not construction
 	return e
 }
 
@@ -360,6 +392,16 @@ func (e *Engine) OverlapStats() OverlapStats { return e.overlap }
 // training step, the overlap view of StepStats.
 func (e *Engine) StepOverlapStats() OverlapStats { return e.lastOverlap }
 
+// Profile returns the cumulative phase profile: hot-loop wall time split
+// into gemm/im2col/reduce/codec/other buckets that sum exactly to the
+// measured wall time. Zero unless Config.Profile is set.
+func (e *Engine) Profile() ProfileStats { return e.profile }
+
+// StepProfile returns the phase profile of the most recent training step
+// (ComputeGradient plus any BroadcastWeights since), the profiled view of
+// StepStats.
+func (e *Engine) StepProfile() ProfileStats { return e.lastProfile }
+
 // Close shuts down the worker goroutines. The engine must not be used
 // afterwards; Close is idempotent.
 func (e *Engine) Close() {
@@ -367,6 +409,9 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	if e.cfg.Profile {
+		kernel.SetProfiling(false)
+	}
 	for w, ch := range e.jobs {
 		if e.alive[w] { // evicted workers' channels are already closed
 			close(ch)
@@ -562,6 +607,12 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	e.lastTiers = TierStats{}
 	e.lastOverlap = OverlapStats{}
 	e.lastMembership = MembershipStats{StepsAtWorld: make([]int64, len(e.replicas)+1)}
+	var profBase [kernel.NumPhases]int64
+	var profStart int64
+	if e.cfg.Profile && e.profActive {
+		e.lastProfile = ProfileStats{}
+		profBase, profStart = kernel.ProfileSnapshot()
+	}
 	weights, live := shardWeights(spans, b)
 
 	// The shard slots rebalance over the workers that can answer this
@@ -626,6 +677,11 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 		off += p.Numel()
 	}
 	e.injectFaults(payloads)
+	if e.cfg.Profile && e.profActive {
+		d := profileDelta(profBase, profStart)
+		e.lastProfile.Add(d)
+		e.profile.Add(d)
+	}
 	e.noteStep(e.world) // filed at the world size the step executed at
 	e.steps++
 	// Membership epoch boundary: evict workers whose recovery has failed
@@ -662,10 +718,11 @@ func shardWeights(spans [][2]int, b int) (weights []float64, live []int) {
 // the optional codec rounds every live shard's payload through its wire
 // format, the schedule of the configured topology is accounted (hidden when
 // the overlap scheduler fired the bucket inside the backward pass), and the
-// canonical float64-accumulated weighted sum lands in the scratch vector.
-// It returns the rounded mean wire payload so fault recovery prices resends
-// consistently. Safe to run concurrently with workers still back-propagating
-// other buckets' coordinates: it only touches [lo, hi).
+// shard-weighted sum — canonical float64 or fixed-tree pairwise float32,
+// per Config.Reduction — lands in the scratch vector. It returns the
+// rounded mean wire payload so fault recovery prices resends consistently.
+// Safe to run concurrently with workers still back-propagating other
+// buckets' coordinates: it only touches [lo, hi).
 func (e *Engine) reduceBucket(bi int, live []int, weights []float64, hidden bool) int64 {
 	lo, hi := e.buckets[bi][0], e.buckets[bi][1]
 	wireTotal := 4 * int64(hi-lo) * int64(len(live))
@@ -674,6 +731,7 @@ func (e *Engine) reduceBucket(bi int, live []int, weights []float64, hidden bool
 		// the schedule formulas price one uniform payload, so account
 		// the exact summed wire bytes through the schedule's byte
 		// factor (see recordReduce).
+		sp := kernel.StartPhase(kernel.PhaseCodec)
 		wires := make([]int64, len(live))
 		tasks := make([]func(), len(live))
 		for i, s := range live {
@@ -687,17 +745,43 @@ func (e *Engine) reduceBucket(bi int, live []int, weights []float64, hidden bool
 		for _, w := range wires {
 			wireTotal += w
 		}
+		sp.End()
 	}
 	e.recordReduce(wireTotal, len(live), hidden)
-	par.ForGrain(hi-lo, 2048, func(l, h int) {
-		for i := lo + l; i < lo+h; i++ {
-			var acc float64
-			for _, s := range live {
-				acc += weights[s] * float64(e.grads[s][i])
-			}
-			e.reduced[i] = float32(acc)
+	sp := kernel.StartPhase(kernel.PhaseReduce)
+	// Gather the live shards' bucket rows once; the summation kernels are
+	// chunking-invariant, so the parallel decomposition below never
+	// affects the reduced bits.
+	srcs := make([][]float32, len(live))
+	for i, s := range live {
+		srcs[i] = e.grads[s][lo:hi]
+	}
+	if e.cfg.Reduction == PairwiseF32 {
+		scales := make([]float32, len(live))
+		for i, s := range live {
+			scales[i] = float32(weights[s])
 		}
-	})
+		par.ForGrain(hi-lo, 2048, func(l, h int) {
+			sub := make([][]float32, len(srcs))
+			for i := range srcs {
+				sub[i] = srcs[i][l:h]
+			}
+			kernel.PairwiseAccumulate(e.reduced[lo+l:lo+h], sub, scales)
+		})
+	} else {
+		scales := make([]float64, len(live))
+		for i, s := range live {
+			scales[i] = weights[s]
+		}
+		par.ForGrain(hi-lo, 2048, func(l, h int) {
+			sub := make([][]float32, len(srcs))
+			for i := range srcs {
+				sub[i] = srcs[i][l:h]
+			}
+			kernel.CanonicalAccumulate(e.reduced[lo+l:lo+h], sub, scales)
+		})
+	}
+	sp.End()
 	n := int64(len(live))
 	return (wireTotal + n/2) / n
 }
@@ -779,11 +863,21 @@ func (e *Engine) injectFaults(payloads []int64) {
 // (architecture drift between replicas) is returned so the training loop
 // can abort the step cleanly instead of crashing the process.
 func (e *Engine) BroadcastWeights() error {
+	var profBase [kernel.NumPhases]int64
+	var profStart int64
+	if e.cfg.Profile && e.profActive {
+		profBase, profStart = kernel.ProfileSnapshot()
+	}
 	if err := e.dispatch(e.activeIDs(e.steps), func(w int) job { return job{kind: jobSync} }); err != nil {
 		return err
 	}
 	for _, bucket := range e.buckets {
 		e.recordBroadcast(4 * int64(bucket[1]-bucket[0]))
+	}
+	if e.cfg.Profile && e.profActive {
+		d := profileDelta(profBase, profStart)
+		e.lastProfile.Add(d)
+		e.profile.Add(d)
 	}
 	return nil
 }

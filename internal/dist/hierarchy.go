@@ -223,14 +223,23 @@ func degradedSenderShare(h Hierarchy, leader bool, nodeSize, liveNodes int, payl
 // The sum is computed exactly as the flat Reduce computes it — canonical
 // worker order, float64 accumulation — so hierarchical and flat reductions
 // are bitwise identical; only the accounted schedule differs.
+// HierReduceWith selects the arithmetic.
 func HierReduce(h Hierarchy, bufs [][]float32, tiers *TierStats) {
+	HierReduceWith(h, CanonicalF64, bufs, tiers)
+}
+
+// HierReduceWith is HierReduce under an explicit reduction policy. As with
+// the flat ReduceWith, hierarchical and flat reductions stay bitwise
+// identical to each other under either policy — the policy changes the
+// summation arithmetic, never the topology's role as pure accounting.
+func HierReduceWith(h Hierarchy, policy Reduction, bufs [][]float32, tiers *TierStats) {
 	h.validate()
 	if len(bufs) != h.Workers() {
 		panic(fmt.Sprintf("dist: HierReduce: %d buffers for a %dx%d hierarchy", len(bufs), h.Nodes, h.PerNode))
 	}
 	n := checkUniform("HierReduce", bufs)
 	if len(bufs) > 1 {
-		canonicalSum(bufs)
+		sumInto(policy, bufs)
 		if h.Inter == Ring {
 			// The leader ring's reduce-scatter + allgather leaves the sum
 			// on every node leader, mirroring flat Ring's placement.

@@ -1,0 +1,248 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// TestReduceWithPairwiseIdenticalAcrossAlgorithms: the pairwise-f32 policy
+// keeps the collective's core contract — topology choice is pure
+// accounting, the reduced bits are identical under all three algorithms.
+func TestReduceWithPairwiseIdenticalAcrossAlgorithms(t *testing.T) {
+	const workers, n = 6, 5000
+	mkBufs := func() [][]float32 {
+		r := rng.New(5)
+		bufs := make([][]float32, workers)
+		for w := range bufs {
+			bufs[w] = make([]float32, n)
+			for i := range bufs[w] {
+				bufs[w][i] = r.NormFloat32()
+			}
+		}
+		return bufs
+	}
+	var ref []float32
+	for _, algo := range algorithms {
+		bufs := mkBufs()
+		dist.ReduceWith(algo, dist.PairwiseF32, bufs, nil)
+		if ref == nil {
+			ref = bufs[0]
+			continue
+		}
+		for i := range ref {
+			if bufs[0][i] != ref[i] {
+				t.Fatalf("%v: pairwise reduction differs at coord %d", algo, i)
+			}
+		}
+	}
+	// And it is a different rounding than canonical (the policies are
+	// distinct arithmetics, not aliases).
+	bufs := mkBufs()
+	dist.ReduceWith(dist.Central, dist.CanonicalF64, bufs, nil)
+	same := true
+	for i := range ref {
+		if bufs[0][i] != ref[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("pairwise-f32 and canonical-f64 agree bitwise on random data — policy plumbing is vacuous")
+	}
+}
+
+// TestPairwiseGradientIndependentOfWorkerCount extends the engine's
+// reproducibility contract to the pairwise policy: with the shard count
+// pinned, the physical worker count does not change a bit.
+func TestPairwiseGradientIndependentOfWorkerCount(t *testing.T) {
+	x, labels, factory := testTask(64)
+	const shards = 4
+	var refGrad []float32
+	var refLoss float64
+	for _, workers := range []int{1, 2, 4} {
+		e := newEngine(dist.Config{Algo: dist.Ring, Shards: shards, Reduction: dist.PairwiseF32}, workers, factory)
+		loss, err := e.ComputeGradient(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := flatGrad(e)
+		e.Close()
+		if refGrad == nil {
+			refGrad, refLoss = grad, loss
+			continue
+		}
+		if loss != refLoss {
+			t.Fatalf("W=%d: loss %v differs bitwise from W=1's %v", workers, loss, refLoss)
+		}
+		for i := range grad {
+			if grad[i] != refGrad[i] {
+				t.Fatalf("W=%d: pairwise grad coord %d differs bitwise from W=1", workers, i)
+			}
+		}
+	}
+}
+
+// TestPairwiseBitIdenticalAcrossTopologiesBucketsOverlap: under the
+// pairwise policy one shard split reduces to the same bits whatever the
+// topology, the bucket layout, or whether the reductions fire inside the
+// backward pass — the full invariance matrix of the acceptance criteria.
+func TestPairwiseBitIdenticalAcrossTopologiesBucketsOverlap(t *testing.T) {
+	x, labels, factory := testTask(64)
+	hier := dist.NewHierarchy(2, 2)
+	configs := []struct {
+		label   string
+		workers int
+		cfg     dist.Config
+	}{
+		{"flat central", 4, dist.Config{Algo: dist.Central, Shards: 4, Reduction: dist.PairwiseF32}},
+		{"flat tree", 4, dist.Config{Algo: dist.Tree, Shards: 4, Reduction: dist.PairwiseF32}},
+		{"flat ring", 4, dist.Config{Algo: dist.Ring, Shards: 4, Reduction: dist.PairwiseF32}},
+		{"hierarchical", 4, dist.Config{Topology: &hier, Shards: 4, Reduction: dist.PairwiseF32}},
+		{"two workers", 2, dist.Config{Algo: dist.Ring, Shards: 4, Reduction: dist.PairwiseF32}},
+		{"small buckets", 4, dist.Config{Algo: dist.Ring, Shards: 4, BucketElems: 33, Reduction: dist.PairwiseF32}},
+		{"overlap", 4, dist.Config{Algo: dist.Ring, Shards: 4, BucketElems: 64, Overlap: true, Reduction: dist.PairwiseF32}},
+		{"overlap hier", 4, dist.Config{Topology: &hier, Shards: 4, BucketElems: 64, Overlap: true, Reduction: dist.PairwiseF32}},
+	}
+	var ref []float32
+	for _, tc := range configs {
+		e := newEngine(tc.cfg, tc.workers, factory)
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		grad := flatGrad(e)
+		e.Close()
+		if ref == nil {
+			ref = grad
+			continue
+		}
+		for i := range grad {
+			if grad[i] != ref[i] {
+				t.Fatalf("%s: pairwise grad coord %d differs from reference config", tc.label, i)
+			}
+		}
+	}
+}
+
+// TestPairwiseFaultRecoveryExact: fault injection stays value-free under
+// the pairwise policy — a faulty run recovers to the bitwise result of a
+// clean one, with only the schedule accounting differing.
+func TestPairwiseFaultRecoveryExact(t *testing.T) {
+	x, labels, factory := testTask(64)
+	clean := newEngine(dist.Config{Algo: dist.Tree, Shards: 4, Reduction: dist.PairwiseF32}, 4, factory)
+	if _, err := clean.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	want := flatGrad(clean)
+	clean.Close()
+
+	faulty := newEngine(dist.Config{
+		Algo: dist.Tree, Shards: 4, Reduction: dist.PairwiseF32,
+		Faults: &dist.FaultPlan{Seed: 9, DropRate: 0.5, StallRate: 0.5},
+	}, 4, factory)
+	defer faulty.Close()
+	if _, err := faulty.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	got := flatGrad(faulty)
+	if s := faulty.Stats(); s.Retries == 0 && s.Stalls == 0 {
+		t.Fatal("fault plan injected nothing — the exactness check is vacuous")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("faulty pairwise run diverged at coord %d", i)
+		}
+	}
+}
+
+// TestProfileStatsSumToStepWall is the profiler's acceptance criterion:
+// the five phase buckets of a profiled step sum exactly to the measured
+// step wall time, and the compute phases are actually populated.
+func TestProfileStatsSumToStepWall(t *testing.T) {
+	x, labels, factory := testTask(64)
+	e := newEngine(dist.Config{
+		Algo: dist.Ring, Codec: dist.FP16Codec{}, Profile: true,
+	}, 2, factory)
+	defer e.Close()
+	var cumulative dist.ProfileStats
+	for step := 0; step < 3; step++ {
+		if _, err := e.ComputeGradient(x, labels); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.BroadcastWeights(); err != nil {
+			t.Fatal(err)
+		}
+		p := e.StepProfile()
+		if p.WallNS <= 0 {
+			t.Fatalf("step %d: no wall time profiled: %+v", step, p)
+		}
+		if p.Accounted() != p.WallNS {
+			t.Fatalf("step %d: phases sum to %d ns, wall is %d ns", step, p.Accounted(), p.WallNS)
+		}
+		if p.GemmNS <= 0 {
+			t.Fatalf("step %d: GEMM phase empty: %+v", step, p)
+		}
+		if p.CodecNS <= 0 {
+			t.Fatalf("step %d: codec phase empty despite fp16 codec: %+v", step, p)
+		}
+		if p.ReduceNS <= 0 {
+			t.Fatalf("step %d: reduce phase empty: %+v", step, p)
+		}
+		cumulative.Add(p)
+	}
+	if e.Profile() != cumulative {
+		t.Fatalf("cumulative profile %+v != sum of step profiles %+v", e.Profile(), cumulative)
+	}
+}
+
+// TestProfileOffLeavesStatsZero: without Config.Profile the engine reports
+// zero profiles and pays no accounting.
+func TestProfileOffLeavesStatsZero(t *testing.T) {
+	x, labels, factory := testTask(32)
+	e := newEngine(dist.Config{Algo: dist.Ring}, 2, factory)
+	defer e.Close()
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile() != (dist.ProfileStats{}) || e.StepProfile() != (dist.ProfileStats{}) {
+		t.Fatalf("unprofiled engine accumulated profile stats: %+v", e.Profile())
+	}
+}
+
+// TestReductionString pins the flag/report names.
+func TestReductionString(t *testing.T) {
+	if dist.CanonicalF64.String() != "canonical-f64" || dist.PairwiseF32.String() != "pairwise-f32" {
+		t.Fatalf("unexpected Reduction names: %v, %v", dist.CanonicalF64, dist.PairwiseF32)
+	}
+}
+
+// TestCanonicalUnchangedBySeed guards the refactor onto the kernel layer:
+// the default policy must still match the historical per-coordinate
+// float64 loop bit for bit (the engine-level twin of the kernel's
+// bit-compat test).
+func TestCanonicalUnchangedBySeed(t *testing.T) {
+	const workers, n = 5, 3000
+	r := rng.New(8)
+	bufs := make([][]float32, workers)
+	want := make([]float64, n)
+	for w := range bufs {
+		bufs[w] = make([]float32, n)
+		for i := range bufs[w] {
+			bufs[w][i] = r.NormFloat32()
+		}
+	}
+	for i := 0; i < n; i++ {
+		acc := float64(bufs[0][i])
+		for w := 1; w < workers; w++ {
+			acc += float64(bufs[w][i])
+		}
+		want[i] = acc
+	}
+	dist.Reduce(dist.Tree, bufs, nil)
+	for i := range want {
+		if bufs[0][i] != float32(want[i]) {
+			t.Fatalf("canonical reduction drifted from the seed semantics at coord %d", i)
+		}
+	}
+}

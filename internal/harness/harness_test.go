@@ -238,3 +238,28 @@ func TestElasticityStudyDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestHotLoopStudyMechanics: the hot-loop exhibit produces one row per
+// reduction policy, verifies both policies' determinism contracts for real
+// (the identity column must read "exact"), and its Markdown carries the
+// volatile marker so docsdrift compares shape rather than timings.
+func TestHotLoopStudyMechanics(t *testing.T) {
+	tab, err := HotLoopStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("HotLoop study has %d rows, want 2 (one per policy)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "exact" {
+			t.Fatalf("policy %s identity check failed: %q", row[0], row[1])
+		}
+	}
+	if !tab.Volatile {
+		t.Fatal("HotLoop study must be marked volatile (its timing cells vary per machine)")
+	}
+	if md := tab.Markdown(); !strings.Contains(md, VolatileMarker) {
+		t.Fatal("volatile table's Markdown lacks the drift marker")
+	}
+}

@@ -24,7 +24,18 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Volatile marks a table whose numeric cells are measured timings
+	// rather than deterministic arithmetic. Markdown output then carries
+	// the VolatileMarker comment, which tells the docs-drift check to
+	// compare the section's shape (every digit run normalized) instead of
+	// its exact bytes — so timing tables can ride in the drift-checked
+	// document without failing on every machine.
+	Volatile bool
 }
+
+// VolatileMarker is the comment line Markdown emits for Volatile tables;
+// cmd/docsdrift switches to shape comparison when it sees it.
+const VolatileMarker = "<!-- volatile: measured timings; docs-drift compares shape only -->"
 
 // Add appends one row; cell counts should match the header.
 func (t *Table) Add(cells ...string) {
@@ -96,6 +107,9 @@ func (t *Table) String() string {
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Volatile {
+		b.WriteString(VolatileMarker + "\n\n")
+	}
 	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
 	sep := make([]string, len(t.Header))
 	for i := range sep {

@@ -1,0 +1,209 @@
+package kernel
+
+// gemmKC is the k-tile width of the blocked GEMM kernels: the B (or packed
+// A) panel touched by one tile is gemmKC rows, small enough to stay
+// cache-resident across the whole row range of the block.
+const gemmKC = 256
+
+// GemmNN computes C[m×n] = alpha·A[m×k]·B[k×n] + beta·C over contiguous
+// row-major blocks. It is the serial micro-kernel behind tensor.Gemm's
+// no-transpose case: the caller parallelizes over disjoint row ranges and
+// hands each goroutine its contiguous A/C sub-blocks. Per output row the
+// accumulation order over l is ascending regardless of blocking, so every
+// row of C is deterministic for any caller-side chunking.
+//
+// The kernel k-tiles the l loop (the B panel of one tile stays hot across
+// all rows of the block) and register-blocks four rows of C at a time, so
+// each streamed row of B is reused fourfold.
+func GemmNN(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	applyBeta(c[:m*n], beta)
+	if n == 0 {
+		return
+	}
+	for kt := 0; kt < k; kt += gemmKC {
+		kh := kt + gemmKC
+		if kh > k {
+			kh = k
+		}
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			a0 := a[(i+0)*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			a2 := a[(i+2)*k : (i+3)*k]
+			a3 := a[(i+3)*k : (i+4)*k]
+			c0 := c[(i+0)*n : (i+1)*n]
+			c1 := c[(i+1)*n : (i+2)*n]
+			c2 := c[(i+2)*n : (i+3)*n]
+			c3 := c[(i+3)*n : (i+4)*n]
+			for l := kt; l < kh; l++ {
+				s0 := alpha * a0[l]
+				s1 := alpha * a1[l]
+				s2 := alpha * a2[l]
+				s3 := alpha * a3[l]
+				brow := b[l*n : (l+1)*n]
+				if s0 == 0 || s1 == 0 || s2 == 0 || s3 == 0 {
+					// Mixed or all-zero scales: drop to per-row updates so
+					// a zero row skips exactly as in the scalar path. Each
+					// row's arithmetic must not depend on its block
+					// neighbors (0·Inf would mint a NaN a lone row never
+					// sees), or results would vary with the caller's row
+					// chunking.
+					axpyRow(c0, s0, brow)
+					axpyRow(c1, s1, brow)
+					axpyRow(c2, s2, brow)
+					axpyRow(c3, s3, brow)
+					continue
+				}
+				for j, bv := range brow {
+					c0[j] += s0 * bv
+					c1[j] += s1 * bv
+					c2[j] += s2 * bv
+					c3[j] += s3 * bv
+				}
+			}
+		}
+		for ; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for l := kt; l < kh; l++ {
+				axpyRow(crow, alpha*arow[l], b[l*n:(l+1)*n])
+			}
+		}
+	}
+}
+
+// axpyRow computes c += s·b, skipping entirely when s is zero — the one
+// per-row update semantics every GemmNN/GemmTN path shares, so a row's
+// result never depends on which rows share its register block or on the
+// caller's row chunking.
+func axpyRow(c []float32, s float32, b []float32) {
+	if s == 0 {
+		return
+	}
+	for j, bv := range b {
+		c[j] += s * bv
+	}
+}
+
+// GemmTN computes C[m×n] = alpha·op(A)·B[k×n] + beta·C where op(A) row i is
+// column i0+i of the row-major array a with row stride lda (i.e. element
+// (i, l) is a[l*lda + i0 + i]). Each k-tile of four A columns is packed
+// into a contiguous panel first, so the inner loops run the same
+// register-blocked micro-kernel as GemmNN instead of striding through a.
+// Accumulation order per output row is ascending l, as in GemmNN.
+func GemmTN(m, n, k int, alpha float32, a []float32, lda, i0 int, b []float32, beta float32, c []float32) {
+	applyBeta(c[:m*n], beta)
+	if n == 0 {
+		return
+	}
+	var pk [4 * gemmKC]float32
+	for kt := 0; kt < k; kt += gemmKC {
+		kh := kt + gemmKC
+		if kh > k {
+			kh = k
+		}
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			// Pack the four columns' tile: pk[4·l' + r] = op(A)[i+r][kt+l'].
+			for l := kt; l < kh; l++ {
+				off := l*lda + i0 + i
+				q := 4 * (l - kt)
+				pk[q+0] = a[off]
+				pk[q+1] = a[off+1]
+				pk[q+2] = a[off+2]
+				pk[q+3] = a[off+3]
+			}
+			c0 := c[(i+0)*n : (i+1)*n]
+			c1 := c[(i+1)*n : (i+2)*n]
+			c2 := c[(i+2)*n : (i+3)*n]
+			c3 := c[(i+3)*n : (i+4)*n]
+			for l := kt; l < kh; l++ {
+				q := 4 * (l - kt)
+				s0 := alpha * pk[q+0]
+				s1 := alpha * pk[q+1]
+				s2 := alpha * pk[q+2]
+				s3 := alpha * pk[q+3]
+				brow := b[l*n : (l+1)*n]
+				if s0 == 0 || s1 == 0 || s2 == 0 || s3 == 0 {
+					// Per-row skips, as in GemmNN: block composition must
+					// not leak into any single row's arithmetic.
+					axpyRow(c0, s0, brow)
+					axpyRow(c1, s1, brow)
+					axpyRow(c2, s2, brow)
+					axpyRow(c3, s3, brow)
+					continue
+				}
+				for j, bv := range brow {
+					c0[j] += s0 * bv
+					c1[j] += s1 * bv
+					c2[j] += s2 * bv
+					c3[j] += s3 * bv
+				}
+			}
+		}
+		for ; i < m; i++ {
+			crow := c[i*n : (i+1)*n]
+			for l := kt; l < kh; l++ {
+				axpyRow(crow, alpha*a[l*lda+i0+i], b[l*n:(l+1)*n])
+			}
+		}
+	}
+}
+
+// GemmNT computes C[m×n] = alpha·A[m×k]·op(B) + beta·C where op(B) column j
+// is row j of the row-major array b (so element (l, j) is b[j*k + l]).
+// Both operands of each output element are contiguous, so every element is
+// one fixed-tree multi-accumulator dot product (PairwiseDot) — breaking the
+// single-accumulator dependency chain of the naive loop while keeping each
+// output a pure function of its inputs.
+func GemmNT(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := range crow {
+			s := pairwiseDot(arow, b[j*k:(j+1)*k])
+			if beta == 0 {
+				crow[j] = alpha * s
+			} else {
+				crow[j] = beta*crow[j] + alpha*s
+			}
+		}
+	}
+}
+
+// GemmTT computes C[m×n] = alpha·op(A)·op(B) + beta·C with both operands
+// transposed: op(A)(i, l) = a[l*lda + i0 + i], op(B)(l, j) = b[j*ldb + l].
+// The doubly-transposed case sits on no hot path (no layer lowers onto
+// it), so it keeps the simple strided loop.
+func GemmTT(m, n, k int, alpha float32, a []float32, lda, i0 int, b []float32, ldb int, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for j := range crow {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += a[l*lda+i0+i] * b[j*ldb+l]
+			}
+			if beta == 0 {
+				crow[j] = alpha * s
+			} else {
+				crow[j] = beta*crow[j] + alpha*s
+			}
+		}
+	}
+}
+
+// applyBeta scales the output block by beta before accumulation: beta == 0
+// overwrites (never multiplies pre-existing NaNs), beta == 1 is a no-op.
+func applyBeta(c []float32, beta float32) {
+	switch beta {
+	case 0:
+		for j := range c {
+			c[j] = 0
+		}
+	case 1:
+	default:
+		for j := range c {
+			c[j] *= beta
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refGemm is a float64 reference for accuracy bounds.
+func refGemm(m, n, k int, alpha float32, at func(i, l int) float32, bt func(l, j int) float32, beta float32, c []float32) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += float64(at(i, l)) * float64(bt(l, j))
+			}
+			out[i*n+j] = beta*c[i*n+j] + alpha*float32(s)
+		}
+	}
+	return out
+}
+
+func approxEq(a, b []float32, tol float64, t *testing.T, label string) {
+	t.Helper()
+	for i := range a {
+		if diff := math.Abs(float64(a[i] - b[i])); diff > tol*(1+math.Abs(float64(b[i]))) {
+			t.Fatalf("%s: coord %d: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func TestGemmNNMatchesReference(t *testing.T) {
+	r := rng.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {4, 8, 256}, {9, 6, 300}, {17, 33, 515}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, b := randVec(r, m*k), randVec(r, k*n)
+		c := randVec(r, m*n)
+		got := append([]float32(nil), c...)
+		GemmNN(m, n, k, 0.7, a, b, 0.3, got)
+		want := refGemm(m, n, k, 0.7,
+			func(i, l int) float32 { return a[i*k+l] },
+			func(l, j int) float32 { return b[l*n+j] }, 0.3, c)
+		approxEq(got, want, 1e-4, t, "GemmNN")
+	}
+}
+
+func TestGemmTNMatchesReference(t *testing.T) {
+	r := rng.New(2)
+	// op(A) is the transpose of a [k, M] array; exercise a non-zero column
+	// offset, as tensor.Gemm's row-range parallelism produces.
+	const M, m, n, k, i0 = 13, 6, 9, 300, 4
+	a, b := randVec(r, k*M), randVec(r, k*n)
+	c := randVec(r, m*n)
+	got := append([]float32(nil), c...)
+	GemmTN(m, n, k, 1.5, a, M, i0, b, 0.5, got)
+	want := refGemm(m, n, k, 1.5,
+		func(i, l int) float32 { return a[l*M+i0+i] },
+		func(l, j int) float32 { return b[l*n+j] }, 0.5, c)
+	approxEq(got, want, 1e-4, t, "GemmTN")
+}
+
+func TestGemmNTMatchesReference(t *testing.T) {
+	r := rng.New(3)
+	const m, n, k = 7, 11, 400
+	a, b := randVec(r, m*k), randVec(r, n*k)
+	c := randVec(r, m*n)
+	got := append([]float32(nil), c...)
+	GemmNT(m, n, k, 0.9, a, b, 1, got)
+	want := refGemm(m, n, k, 0.9,
+		func(i, l int) float32 { return a[i*k+l] },
+		func(l, j int) float32 { return b[j*k+l] }, 1, c)
+	approxEq(got, want, 1e-4, t, "GemmNT")
+}
+
+func TestGemmTTMatchesReference(t *testing.T) {
+	r := rng.New(4)
+	const M, m, n, k = 5, 5, 8, 60
+	a, b := randVec(r, k*M), randVec(r, n*k)
+	c := randVec(r, m*n)
+	got := append([]float32(nil), c...)
+	GemmTT(m, n, k, 1, a, M, 0, b, k, 0, got)
+	want := refGemm(m, n, k, 1,
+		func(i, l int) float32 { return a[l*M+i] },
+		func(l, j int) float32 { return b[j*k+l] }, 0, c)
+	approxEq(got, want, 1e-4, t, "GemmTT")
+}
+
+// TestGemmNNRowRangeInvariance: every output row is a pure function of its
+// inputs, so computing the block whole or in arbitrary row ranges (the
+// caller's parallel decomposition) gives identical bits.
+func TestGemmNNRowRangeInvariance(t *testing.T) {
+	r := rng.New(5)
+	const m, n, k = 13, 17, 300
+	a, b := randVec(r, m*k), randVec(r, k*n)
+	whole := make([]float32, m*n)
+	GemmNN(m, n, k, 1, a, b, 0, whole)
+	for _, bounds := range [][]int{{0, 1, m}, {0, 4, 5, m}, {0, 3, 6, 9, 12, m}} {
+		chunked := make([]float32, m*n)
+		for bi := 0; bi+1 < len(bounds); bi++ {
+			lo, hi := bounds[bi], bounds[bi+1]
+			GemmNN(hi-lo, n, k, 1, a[lo*k:hi*k], b, 0, chunked[lo*n:hi*n])
+		}
+		for i := range whole {
+			if whole[i] != chunked[i] {
+				t.Fatalf("bounds %v: coord %d differs across row chunking", bounds, i)
+			}
+		}
+	}
+}
+
+// TestGemmNNZeroRowsSkipped: rows of A that are entirely zero leave beta·C
+// untouched (the sparse-activation fast path).
+func TestGemmNNZeroRowsSkipped(t *testing.T) {
+	const m, n, k = 4, 3, 5
+	a := make([]float32, m*k) // all zero
+	b := randVec(rng.New(6), k*n)
+	c := make([]float32, m*n)
+	for i := range c {
+		c[i] = float32(i)
+	}
+	GemmNN(m, n, k, 1, a, b, 1, c)
+	for i := range c {
+		if c[i] != float32(i) {
+			t.Fatalf("zero A perturbed C at %d: %v", i, c[i])
+		}
+	}
+}
+
+// TestGemmNNZeroRowChunkInvariantWithInf: a zero A-row must skip its
+// update whatever rows share its register block — 0·Inf would otherwise
+// mint a NaN whose appearance depends on the caller's row chunking.
+func TestGemmNNZeroRowChunkInvariantWithInf(t *testing.T) {
+	const m, n, k = 5, 3, 4
+	a := make([]float32, m*k)
+	for j := 0; j < k; j++ {
+		a[0*k+j] = 1 // row 0 nonzero, rows 1-4 all zero
+	}
+	b := make([]float32, k*n)
+	inf := float32(math.Inf(1))
+	for i := range b {
+		b[i] = inf
+	}
+	for _, bounds := range [][]int{{0, m}, {0, 1, m}, {0, 2, 4, m}, {0, 1, 2, 3, 4, m}} {
+		c := make([]float32, m*n)
+		for bi := 0; bi+1 < len(bounds); bi++ {
+			lo, hi := bounds[bi], bounds[bi+1]
+			GemmNN(hi-lo, n, k, 1, a[lo*k:hi*k], b, 0, c[lo*n:hi*n])
+		}
+		for i := 1; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if v := c[i*n+j]; v != 0 {
+					t.Fatalf("bounds %v: zero row %d picked up %v from its block neighbors", bounds, i, v)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if c[j] != inf {
+				t.Fatalf("bounds %v: nonzero row lost its Inf: %v", bounds, c[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package kernel holds the repository's hot numeric inner loops — the
+// float32 summation and GEMM micro-kernels every higher layer (tensor, nn,
+// dist, compress) funnels through — plus the per-step phase profiler that
+// attributes hot-loop wall time to gemm/im2col/reduce/codec phases.
+//
+// Two reduction disciplines live here:
+//
+//   - CanonicalAccumulate — the engine's historical semantics: a strict
+//     left-to-right sum in source order with float64 accumulation. It is
+//     bit-compatible with the scalar loops it replaced; the speedup comes
+//     from restructuring the per-coordinate source loop (a serial float64
+//     dependency chain) into blocked row-wise passes the CPU can pipeline.
+//
+//   - PairwiseSum / PairwiseSumSq / PairwiseDot / PairwiseAccumulate — a
+//     fixed-shape pairwise-tree float32 summation with unrolled
+//     multi-accumulator base blocks. The tree shape is a pure function of
+//     the input length (for the vector sums) or the source count (for
+//     Accumulate) — never of worker count, goroutine chunking, or slice
+//     position — so results are bit-identical however the surrounding code
+//     parallelizes or shards, while the error stays O(log n)·ε instead of
+//     the naive sum's O(n)·ε.
+//
+// Everything in this package is serial and allocation-free on the hot path
+// (a small pooled scratch backs the pairwise tree); callers own the
+// parallel decomposition and may invoke the kernels concurrently on
+// disjoint outputs.
+package kernel
+
+import "sync"
+
+// blockN is the pairwise tree's base-case length: blocks this short are
+// summed directly with four independent accumulators (breaking the serial
+// dependency chain), and longer inputs split at a blockN-aligned midpoint.
+// It is part of the tree-shape contract: changing it changes results.
+const blockN = 128
+
+// splitPoint returns where a pairwise tree over n > blockN elements splits:
+// the left child takes ⌈blocks/2⌉ full base blocks. A pure function of n.
+func splitPoint(n int) int {
+	blocks := (n + blockN - 1) / blockN
+	return (blocks + 1) / 2 * blockN
+}
+
+// PairwiseSum returns the fixed-tree pairwise float32 sum of x. The
+// summation tree depends only on len(x), so the result is a pure function
+// of the values — independent of where the slice sits in a larger buffer
+// and of any parallel chunking the caller performs around it.
+func PairwiseSum(x []float32) float32 {
+	if len(x) <= blockN {
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(x); i += 4 {
+			s0 += x[i]
+			s1 += x[i+1]
+			s2 += x[i+2]
+			s3 += x[i+3]
+		}
+		for ; i < len(x); i++ {
+			s0 += x[i]
+		}
+		return (s0 + s1) + (s2 + s3)
+	}
+	h := splitPoint(len(x))
+	return PairwiseSum(x[:h]) + PairwiseSum(x[h:])
+}
+
+// PairwiseSumSq returns the fixed-tree pairwise sum of x[i]², with the same
+// tree-shape contract as PairwiseSum.
+func PairwiseSumSq(x []float32) float32 {
+	if len(x) <= blockN {
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(x); i += 4 {
+			s0 += x[i] * x[i]
+			s1 += x[i+1] * x[i+1]
+			s2 += x[i+2] * x[i+2]
+			s3 += x[i+3] * x[i+3]
+		}
+		for ; i < len(x); i++ {
+			s0 += x[i] * x[i]
+		}
+		return (s0 + s1) + (s2 + s3)
+	}
+	h := splitPoint(len(x))
+	return PairwiseSumSq(x[:h]) + PairwiseSumSq(x[h:])
+}
+
+// PairwiseDot returns the fixed-tree pairwise dot product Σ x[i]·y[i] for
+// equal-length slices, with the same tree-shape contract as PairwiseSum.
+func PairwiseDot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("kernel: PairwiseDot length mismatch")
+	}
+	return pairwiseDot(x, y)
+}
+
+func pairwiseDot(x, y []float32) float32 {
+	if len(x) <= blockN {
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= len(x); i += 4 {
+			s0 += x[i] * y[i]
+			s1 += x[i+1] * y[i+1]
+			s2 += x[i+2] * y[i+2]
+			s3 += x[i+3] * y[i+3]
+		}
+		for ; i < len(x); i++ {
+			s0 += x[i] * y[i]
+		}
+		return (s0 + s1) + (s2 + s3)
+	}
+	h := splitPoint(len(x))
+	return pairwiseDot(x[:h], y[:h]) + pairwiseDot(x[h:], y[h:])
+}
+
+// accScratch pools the temporary rows the pairwise source tree combines
+// through; Accumulate runs per bucket per step in the engine's hot
+// reduction path, and a fresh allocation there would be pure GC churn.
+var accScratch = sync.Pool{New: func() any { return new([]float32) }}
+
+// PairwiseAccumulate sets dst[i] = Σ_s scales[s]·srcs[s][i], combining the
+// sources in a fixed pairwise tree over the source index: sources split
+// ⌈p/2⌉/⌊p/2⌋ recursively and leaves combine in order. The tree depends
+// only on len(srcs), and each coordinate is computed independently, so
+// results are bit-identical however the caller chunks the coordinate range
+// (parallel workers may call it on disjoint subranges of dst and the
+// matching subslices of srcs). A nil scales means unscaled (all ones).
+// dst may alias srcs[0]; every source must have len(dst) elements.
+func PairwiseAccumulate(dst []float32, srcs [][]float32, scales []float32) {
+	if scales != nil && len(scales) != len(srcs) {
+		panic("kernel: PairwiseAccumulate needs one scale per source")
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic("kernel: PairwiseAccumulate source/dst length mismatch")
+		}
+	}
+	pairAcc(dst, srcs, scales)
+}
+
+// scaleAt returns the s-th scale, defaulting to exactly 1 (1·x == x
+// bitwise, so the nil-scales path is a pure tree sum).
+func scaleAt(scales []float32, s int) float32 {
+	if scales == nil {
+		return 1
+	}
+	return scales[s]
+}
+
+func pairAcc(dst []float32, srcs [][]float32, scales []float32) {
+	switch len(srcs) {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		s0, a := scaleAt(scales, 0), srcs[0]
+		for i := range dst {
+			dst[i] = s0 * a[i]
+		}
+	case 2:
+		s0, s1 := scaleAt(scales, 0), scaleAt(scales, 1)
+		a, b := srcs[0], srcs[1]
+		for i := range dst {
+			dst[i] = s0*a[i] + s1*b[i]
+		}
+	case 3:
+		// Same shape as the general split (⌈3/2⌉ = pair + single).
+		s0, s1, s2 := scaleAt(scales, 0), scaleAt(scales, 1), scaleAt(scales, 2)
+		a, b, c := srcs[0], srcs[1], srcs[2]
+		for i := range dst {
+			dst[i] = (s0*a[i] + s1*b[i]) + s2*c[i]
+		}
+	case 4:
+		// Same shape as the general split (pair + pair).
+		s0, s1 := scaleAt(scales, 0), scaleAt(scales, 1)
+		s2, s3 := scaleAt(scales, 2), scaleAt(scales, 3)
+		a, b, c, d := srcs[0], srcs[1], srcs[2], srcs[3]
+		for i := range dst {
+			dst[i] = (s0*a[i] + s1*b[i]) + (s2*c[i] + s3*d[i])
+		}
+	default:
+		h := (len(srcs) + 1) / 2
+		var lhsScales, rhsScales []float32
+		if scales != nil {
+			lhsScales, rhsScales = scales[:h], scales[h:]
+		}
+		pairAcc(dst, srcs[:h], lhsScales)
+		tp := accScratch.Get().(*[]float32)
+		tmp := *tp
+		if cap(tmp) < len(dst) {
+			tmp = make([]float32, len(dst))
+		}
+		tmp = tmp[:len(dst)]
+		pairAcc(tmp, srcs[h:], rhsScales)
+		for i := range dst {
+			dst[i] += tmp[i]
+		}
+		*tp = tmp
+		accScratch.Put(tp)
+	}
+}
+
+// canonBlock is the row-blocking width of the canonical float64 pass: big
+// enough to amortize the loop structure, small enough that the float64
+// accumulator block lives on the stack and in L1.
+const canonBlock = 512
+
+// CanonicalAccumulate sets dst[i] = Σ_s scales[s]·float64(srcs[s][i]) in
+// source order with float64 accumulation — the engine's canonical reduction
+// semantics, bit-identical to the scalar per-coordinate loop it replaced.
+// With nil scales the sum is unweighted and seeded from srcs[0] (matching
+// the historical collective, where the root's own value starts the chain);
+// with scales it starts from zero and accumulates every source. dst may
+// alias srcs[0]; every source must have len(dst) elements.
+//
+// The restructuring — blocked row-wise passes over a float64 scratch block
+// instead of a per-coordinate loop over sources — turns a serial
+// float64-add dependency chain of length P per coordinate into independent
+// streaming adds, which is where the measured speedup over the old
+// canonicalSum comes from.
+func CanonicalAccumulate(dst []float32, srcs [][]float32, scales []float64) {
+	if scales != nil && len(scales) != len(srcs) {
+		panic("kernel: CanonicalAccumulate needs one scale per source")
+	}
+	if scales == nil && len(srcs) == 0 {
+		panic("kernel: CanonicalAccumulate with nil scales needs a seed source")
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic("kernel: CanonicalAccumulate source/dst length mismatch")
+		}
+	}
+	var acc [canonBlock]float64
+	n := len(dst)
+	for lo := 0; lo < n; lo += canonBlock {
+		hi := lo + canonBlock
+		if hi > n {
+			hi = n
+		}
+		blk := acc[:hi-lo]
+		start := 0
+		if scales == nil {
+			seed := srcs[0][lo:hi]
+			for j, v := range seed {
+				blk[j] = float64(v)
+			}
+			start = 1
+		} else {
+			for j := range blk {
+				blk[j] = 0
+			}
+		}
+		for s := start; s < len(srcs); s++ {
+			row := srcs[s][lo:hi]
+			if scales == nil {
+				for j, v := range row {
+					blk[j] += float64(v)
+				}
+			} else {
+				w := scales[s]
+				for j, v := range row {
+					blk[j] += w * float64(v)
+				}
+			}
+		}
+		out := dst[lo:hi]
+		for j := range out {
+			out[j] = float32(blk[j])
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refPairwiseSum is the tree-shape specification written as plainly as
+// possible: base blocks of blockN summed with four strided accumulators,
+// longer inputs split at a blockN-aligned midpoint. The optimized kernel
+// must match it bit for bit — this is what pins the fixed-tree contract.
+func refPairwiseSum(x []float32) float32 {
+	if len(x) <= blockN {
+		var s [4]float32
+		i := 0
+		for ; i+4 <= len(x); i += 4 {
+			s[0] += x[i]
+			s[1] += x[i+1]
+			s[2] += x[i+2]
+			s[3] += x[i+3]
+		}
+		for ; i < len(x); i++ { // the ragged tail rides accumulator 0
+			s[0] += x[i]
+		}
+		return (s[0] + s[1]) + (s[2] + s[3])
+	}
+	blocks := (len(x) + blockN - 1) / blockN
+	h := (blocks + 1) / 2 * blockN
+	return refPairwiseSum(x[:h]) + refPairwiseSum(x[h:])
+}
+
+// refTreeAt evaluates PairwiseAccumulate's source tree for one coordinate.
+func refTreeAt(srcs [][]float32, scales []float32, i int) float32 {
+	if len(srcs) == 0 {
+		return 0
+	}
+	if len(srcs) == 1 {
+		return scaleAt(scales, 0) * srcs[0][i]
+	}
+	h := (len(srcs) + 1) / 2
+	var ls, rs []float32
+	if scales != nil {
+		ls, rs = scales[:h], scales[h:]
+	}
+	return refTreeAt(srcs[:h], ls, i) + refTreeAt(srcs[h:], rs, i)
+}
+
+func randVec(r *rng.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = r.NormFloat32()
+	}
+	return v
+}
+
+func TestPairwiseSumMatchesReferenceShape(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 31, 127, 128, 129, 255, 256, 257, 1000, 4096, 10000} {
+		x := randVec(r, n)
+		if got, want := PairwiseSum(x), refPairwiseSum(x); got != want {
+			t.Fatalf("n=%d: PairwiseSum = %v, reference tree = %v", n, got, want)
+		}
+		xsq := make([]float32, n)
+		for i, v := range x {
+			xsq[i] = v * v
+		}
+		if got, want := PairwiseSumSq(x), refPairwiseSum(xsq); got != want {
+			t.Fatalf("n=%d: PairwiseSumSq = %v, reference tree = %v", n, got, want)
+		}
+		y := randVec(r, n)
+		xy := make([]float32, n)
+		for i := range xy {
+			xy[i] = x[i] * y[i]
+		}
+		if got, want := PairwiseDot(x, y), refPairwiseSum(xy); got != want {
+			t.Fatalf("n=%d: PairwiseDot = %v, reference tree = %v", n, got, want)
+		}
+	}
+}
+
+// TestPairwiseSumSliceInvariance: the tree shape depends only on length, so
+// the same values summed from any position inside a larger backing array —
+// any offset, any spare capacity — give the same bits.
+func TestPairwiseSumSliceInvariance(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 100, 129, 777, 5000} {
+		x := randVec(r, n)
+		want := PairwiseSum(x)
+		for _, off := range []int{1, 7, 64, 129} {
+			backing := randVec(r, off+n+off)
+			copy(backing[off:off+n], x)
+			if got := PairwiseSum(backing[off : off+n]); got != want {
+				t.Fatalf("n=%d off=%d: sliced sum %v != %v", n, off, got, want)
+			}
+		}
+	}
+}
+
+func TestPairwiseSumAccuracy(t *testing.T) {
+	r := rng.New(3)
+	const n = 1 << 20
+	x := randVec(r, n)
+	var exact float64
+	for _, v := range x {
+		exact += float64(v)
+	}
+	got := float64(PairwiseSum(x))
+	// Pairwise error grows O(log n)·ε; allow a generous absolute bound
+	// scaled by the L1 mass of the input.
+	var l1 float64
+	for _, v := range x {
+		l1 += math.Abs(float64(v))
+	}
+	if diff := math.Abs(got - exact); diff > 1e-5*l1 {
+		t.Fatalf("pairwise sum drifted from exact: |%v - %v| = %v", got, exact, diff)
+	}
+}
+
+func TestPairwiseAccumulateMatchesReferenceTree(t *testing.T) {
+	r := rng.New(4)
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8, 11, 16} {
+		const n = 300
+		srcs := make([][]float32, p)
+		scales := make([]float32, p)
+		for s := range srcs {
+			srcs[s] = randVec(r, n)
+			scales[s] = 0.25 + float32(s)
+		}
+		dst := make([]float32, n)
+		PairwiseAccumulate(dst, srcs, scales)
+		for i := range dst {
+			if want := refTreeAt(srcs, scales, i); dst[i] != want {
+				t.Fatalf("p=%d coord %d: %v != reference tree %v", p, i, dst[i], want)
+			}
+		}
+		// nil scales is the unscaled tree.
+		PairwiseAccumulate(dst, srcs, nil)
+		for i := range dst {
+			if want := refTreeAt(srcs, nil, i); dst[i] != want {
+				t.Fatalf("p=%d coord %d (unscaled): %v != %v", p, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestPairwiseAccumulateChunkInvariance: the tree runs over the source
+// index per coordinate, so accumulating a range in one call or in many
+// arbitrary chunks gives identical bits — what makes the caller's parallel
+// chunking (par.ForGrain) irrelevant to the result.
+func TestPairwiseAccumulateChunkInvariance(t *testing.T) {
+	r := rng.New(5)
+	const n, p = 1009, 7
+	srcs := make([][]float32, p)
+	scales := make([]float32, p)
+	for s := range srcs {
+		srcs[s] = randVec(r, n)
+		scales[s] = 1 / float32(s+1)
+	}
+	whole := make([]float32, n)
+	PairwiseAccumulate(whole, srcs, scales)
+	chunked := make([]float32, n)
+	for _, bounds := range [][]int{{0, 1, n}, {0, 100, 613, n}, {0, 2048 % n, n}} {
+		for b := 0; b+1 < len(bounds); b++ {
+			lo, hi := bounds[b], bounds[b+1]
+			sub := make([][]float32, p)
+			for s := range srcs {
+				sub[s] = srcs[s][lo:hi]
+			}
+			PairwiseAccumulate(chunked[lo:hi], sub, scales)
+		}
+		for i := range whole {
+			if whole[i] != chunked[i] {
+				t.Fatalf("bounds %v: coord %d differs after chunked accumulate", bounds, i)
+			}
+		}
+	}
+}
+
+func TestPairwiseAccumulateAliasesRoot(t *testing.T) {
+	r := rng.New(6)
+	const n, p = 500, 5
+	srcs := make([][]float32, p)
+	for s := range srcs {
+		srcs[s] = randVec(r, n)
+	}
+	want := make([]float32, n)
+	PairwiseAccumulate(want, srcs, nil)
+	// dst == srcs[0], the collective's in-place root reduction.
+	PairwiseAccumulate(srcs[0], srcs, nil)
+	for i := range want {
+		if srcs[0][i] != want[i] {
+			t.Fatalf("coord %d: in-place root %v != out-of-place %v", i, srcs[0][i], want[i])
+		}
+	}
+}
+
+// TestCanonicalAccumulateBitCompat pins CanonicalAccumulate to the scalar
+// per-coordinate loops it replaced, in both seeding modes.
+func TestCanonicalAccumulateBitCompat(t *testing.T) {
+	r := rng.New(7)
+	for _, p := range []int{1, 2, 3, 8} {
+		const n = 1300 // spans multiple canonBlock rows
+		srcs := make([][]float32, p)
+		for s := range srcs {
+			srcs[s] = randVec(r, n)
+		}
+		// nil scales: seeded from srcs[0], the historical collective loop.
+		want := make([]float32, n)
+		for i := 0; i < n; i++ {
+			acc := float64(srcs[0][i])
+			for s := 1; s < p; s++ {
+				acc += float64(srcs[s][i])
+			}
+			want[i] = float32(acc)
+		}
+		dst := make([]float32, n)
+		CanonicalAccumulate(dst, srcs, nil)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("p=%d coord %d: %v != scalar reference %v", p, i, dst[i], want[i])
+			}
+		}
+		// In-place on the root, as the collective calls it.
+		root := append([]float32(nil), srcs[0]...)
+		aliased := append([][]float32{root}, srcs[1:]...)
+		CanonicalAccumulate(root, aliased, nil)
+		for i := range want {
+			if root[i] != want[i] {
+				t.Fatalf("p=%d coord %d: in-place %v != %v", p, i, root[i], want[i])
+			}
+		}
+		// Weighted: zero-seeded, the engine's shard-weighted loop.
+		scales := make([]float64, p)
+		for s := range scales {
+			scales[s] = float64(s+1) / float64(p)
+		}
+		for i := 0; i < n; i++ {
+			var acc float64
+			for s := 0; s < p; s++ {
+				acc += scales[s] * float64(srcs[s][i])
+			}
+			want[i] = float32(acc)
+		}
+		CanonicalAccumulate(dst, srcs, scales)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("p=%d coord %d (weighted): %v != scalar reference %v", p, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPairwiseDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairwiseDot accepted mismatched lengths")
+		}
+	}()
+	PairwiseDot(make([]float32, 3), make([]float32, 4))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 	"repro/internal/tensor"
 )
@@ -92,20 +93,24 @@ func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	gd, bd := l.Gamma.W.Data, l.Beta.W.Data
 
 	par.ForGrain(l.C, 1, func(clo, chi int) {
+		// Per-channel statistics reduce through the fixed-tree kernel sums:
+		// each sample's contiguous segment collapses first, then the
+		// per-sample partials collapse pairwise over the batch — one
+		// reduction discipline shared with the rest of the train path, and
+		// a pure function of (channel data, n), independent of chunking.
+		segSum := make([]float32, n)
+		segSq := make([]float32, n)
 		for c := clo; c < chi; c++ {
 			var mean, variance float64
 			if train {
-				var sum, sumSq float64
 				for s := 0; s < n; s++ {
 					base := s*stride + c*area
-					for i := 0; i < area; i++ {
-						v := float64(x.Data[base+i])
-						sum += v
-						sumSq += v * v
-					}
+					seg := x.Data[base : base+area]
+					segSum[s] = kernel.PairwiseSum(seg)
+					segSq[s] = kernel.PairwiseSumSq(seg)
 				}
-				mean = sum / count
-				variance = sumSq/count - mean*mean
+				mean = float64(kernel.PairwiseSum(segSum)) / count
+				variance = float64(kernel.PairwiseSum(segSq))/count - mean*mean
 				if variance < 0 {
 					variance = 0
 				}
@@ -153,22 +158,24 @@ func (l *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	dgd, dbd := l.Gamma.G.Data, l.Beta.G.Data
 
 	par.ForGrain(l.C, 1, func(clo, chi int) {
+		// Σdy and Σdy·x̂ per channel through the same two-level fixed-tree
+		// kernel reduction as the forward statistics.
+		segDy := make([]float32, n)
+		segDyXhat := make([]float32, n)
 		for c := clo; c < chi; c++ {
-			var sumDy, sumDyXhat float64
 			for s := 0; s < n; s++ {
 				base := s*stride + c*area
-				for i := 0; i < area; i++ {
-					dy := float64(dout.Data[base+i])
-					sumDy += dy
-					sumDyXhat += dy * float64(l.xhat.Data[base+i])
-				}
+				segDy[s] = kernel.PairwiseSum(dout.Data[base : base+area])
+				segDyXhat[s] = kernel.PairwiseDot(dout.Data[base:base+area], l.xhat.Data[base:base+area])
 			}
-			dgd[c] += float32(sumDyXhat)
-			dbd[c] += float32(sumDy)
+			sumDy := kernel.PairwiseSum(segDy)
+			sumDyXhat := kernel.PairwiseSum(segDyXhat)
+			dgd[c] += sumDyXhat
+			dbd[c] += sumDy
 			g := gd[c]
 			inv := l.invStd[c]
-			meanDy := float32(sumDy) / m
-			meanDyXhat := float32(sumDyXhat) / m
+			meanDy := sumDy / m
+			meanDyXhat := sumDyXhat / m
 			for s := 0; s < n; s++ {
 				base := s*stride + c*area
 				for i := 0; i < area; i++ {

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -141,16 +142,13 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		tensor.Col2Im(g, dcol, dx.Data[s*imLen:(s+1)*imLen])
 	}
 	if c.useBias {
+		// Each spatial row reduces through the fixed-tree kernel sum, the
+		// same discipline as the gradient reduction in internal/dist.
 		gd := c.Bias.G.Data
 		for s := 0; s < n; s++ {
 			base := s * c.OutC * l
 			for oc := 0; oc < c.OutC; oc++ {
-				row := dout.Data[base+oc*l : base+(oc+1)*l]
-				var sum float32
-				for _, v := range row {
-					sum += v
-				}
-				gd[oc] += sum
+				gd[oc] += kernel.PairwiseSum(dout.Data[base+oc*l : base+(oc+1)*l])
 			}
 		}
 	}

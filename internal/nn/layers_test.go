@@ -368,3 +368,24 @@ func TestCopyWeightsFrom(t *testing.T) {
 		}
 	}
 }
+
+// TestLRNEvenWindow: N is an exported field, so even window sizes must
+// work; an even N spans 2·⌊N/2⌋+1 = N+1 channels per window (regression:
+// the window scratch was sized N and panicked).
+func TestLRNEvenWindow(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		l := NewLRN("lrn")
+		l.N = n
+		x := tensor.RandNormal(rng.New(uint64(n)), 1, 2, 8, 3, 3)
+		y := l.Forward(x, true)
+		dx := l.Backward(tensor.Ones(y.Shape...))
+		if y.Numel() != x.Numel() || dx.Numel() != x.Numel() {
+			t.Fatalf("N=%d: shape drift", n)
+		}
+		for i, v := range y.Data {
+			if math.IsNaN(float64(v)) {
+				t.Fatalf("N=%d: NaN at %d", n, i)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 	"repro/internal/tensor"
 )
@@ -54,28 +55,25 @@ func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	coeff := l.Alpha / float32(l.N)
 
 	par.ForGrain(n, 1, func(lo, hi int) {
+		// Each window reduces through the fixed-tree kernel sum instead of
+		// a sliding add/subtract: the windows are tiny (N channels), and a
+		// fresh fixed-shape sum per window keeps every d value a pure
+		// function of its window — no accumulated drift across channels,
+		// and the same reduction discipline as the rest of the train path.
+		win := make([]float32, 2*half+1) // a window spans up to 2·⌊N/2⌋+1 channels (N+1 when N is even)
 		for s := lo; s < hi; s++ {
 			base := s * c * area
 			for pos := 0; pos < area; pos++ {
-				// Sliding window over channels at this spatial position.
-				var window float32
-				for cc := 0; cc < min(half+1, c); cc++ {
-					v := x.Data[base+cc*area+pos]
-					window += v * v
-				}
 				for ch := 0; ch < c; ch++ {
-					d := l.K + coeff*window
+					m := 0
+					for cc := max(0, ch-half); cc < min(ch+half+1, c); cc++ {
+						v := x.Data[base+cc*area+pos]
+						win[m] = v * v
+						m++
+					}
+					d := l.K + coeff*kernel.PairwiseSum(win[:m])
 					l.scale.Data[base+ch*area+pos] = d
 					y.Data[base+ch*area+pos] = x.Data[base+ch*area+pos] * float32(math.Pow(float64(d), -float64(l.Beta)))
-					// Slide: add entering channel, remove leaving channel.
-					if enter := ch + half + 1; enter < c {
-						v := x.Data[base+enter*area+pos]
-						window += v * v
-					}
-					if leave := ch - half; leave >= 0 {
-						v := x.Data[base+leave*area+pos]
-						window -= v * v
-					}
 				}
 			}
 		}
@@ -94,7 +92,8 @@ func (l *LRN) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	factor := 2 * l.Alpha * l.Beta / float32(l.N)
 
 	par.ForGrain(n, 1, func(lo, hi int) {
-		// t_c = dy_c · x_c · d_c^{-β-1}, then windowed sum over c.
+		// t_c = dy_c · x_c · d_c^{-β-1}, then each window sums through the
+		// fixed-tree kernel (t is contiguous, so the window is one slice).
 		t := make([]float32, c)
 		for s := lo; s < hi; s++ {
 			base := s * c * area
@@ -104,20 +103,11 @@ func (l *LRN) Backward(dout *tensor.Tensor) *tensor.Tensor {
 					d := float64(l.scale.Data[i])
 					t[ch] = dout.Data[i] * l.x.Data[i] * float32(math.Pow(d, -float64(l.Beta)-1))
 				}
-				var window float32
-				for cc := 0; cc < min(half+1, c); cc++ {
-					window += t[cc]
-				}
 				for j := 0; j < c; j++ {
 					i := base + j*area + pos
 					d := float64(l.scale.Data[i])
+					window := kernel.PairwiseSum(t[max(0, j-half):min(j+half+1, c)])
 					dx.Data[i] = dout.Data[i]*float32(math.Pow(d, -float64(l.Beta))) - factor*l.x.Data[i]*window
-					if enter := j + half + 1; enter < c {
-						window += t[enter]
-					}
-					if leave := j - half; leave >= 0 {
-						window -= t[leave]
-					}
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -97,5 +98,68 @@ func TestDoRunsAll(t *testing.T) {
 func TestMaxWorkersPositive(t *testing.T) {
 	if MaxWorkers() < 1 {
 		t.Fatal("MaxWorkers must be >= 1")
+	}
+}
+
+// TestForGrainGrainExceedsN: a grain larger than the range must collapse
+// to one inline call covering the whole range.
+func TestForGrainGrainExceedsN(t *testing.T) {
+	for _, tc := range []struct{ n, grain int }{{1, 2}, {10, 11}, {100, 1 << 20}, {5, 5}} {
+		var calls [][2]int
+		ForGrain(tc.n, tc.grain, func(lo, hi int) {
+			calls = append(calls, [2]int{lo, hi})
+		})
+		if len(calls) != 1 || calls[0] != [2]int{0, tc.n} {
+			t.Fatalf("n=%d grain=%d: calls %v, want one inline [0,%d)", tc.n, tc.grain, calls, tc.n)
+		}
+	}
+}
+
+// TestForGrainEmptyRange: n == 0 (and negative n) must not invoke the body
+// for any grain, including degenerate ones.
+func TestForGrainEmptyRange(t *testing.T) {
+	for _, grain := range []int{-1, 0, 1, 1000} {
+		ForGrain(0, grain, func(lo, hi int) { t.Fatalf("body ran for n=0, grain=%d", grain) })
+		ForGrain(-3, grain, func(lo, hi int) { t.Fatalf("body ran for n=-3, grain=%d", grain) })
+	}
+}
+
+// TestForGrainRounding pins the chunk geometry: chunks are contiguous,
+// ascending once sorted, all but the last share one size (the rounded-up
+// n/chunks), and the chunk count never exceeds MaxWorkers — the grain
+// rounding cases (grain dividing n, grain not dividing n, grain of 1).
+func TestForGrainRounding(t *testing.T) {
+	for _, tc := range []struct{ n, grain int }{
+		{100, 10}, {100, 7}, {101, 10}, {99, 100}, {4096, 1}, {5000, 2048}, {2049, 2048},
+	} {
+		var mu sync.Mutex
+		var spans [][2]int
+		ForGrain(tc.n, tc.grain, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+		if spans[0][0] != 0 || spans[len(spans)-1][1] != tc.n {
+			t.Fatalf("n=%d grain=%d: spans %v do not cover [0,%d)", tc.n, tc.grain, spans, tc.n)
+		}
+		if len(spans) > MaxWorkers() {
+			t.Fatalf("n=%d grain=%d: %d chunks exceed MaxWorkers %d", tc.n, tc.grain, len(spans), MaxWorkers())
+		}
+		size := spans[0][1] - spans[0][0]
+		for i, s := range spans {
+			if s[1] <= s[0] {
+				t.Fatalf("n=%d grain=%d: empty span %v", tc.n, tc.grain, s)
+			}
+			if i > 0 && s[0] != spans[i-1][1] {
+				t.Fatalf("n=%d grain=%d: gap between %v and %v", tc.n, tc.grain, spans[i-1], s)
+			}
+			if i < len(spans)-1 && s[1]-s[0] != size {
+				t.Fatalf("n=%d grain=%d: non-final span %v has size %d, want %d", tc.n, tc.grain, s, s[1]-s[0], size)
+			}
+		}
+		if last := spans[len(spans)-1]; last[1]-last[0] > size {
+			t.Fatalf("n=%d grain=%d: final span %v larger than the others (%d)", tc.n, tc.grain, last, size)
+		}
 	}
 }

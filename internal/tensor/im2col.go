@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 )
 
@@ -45,6 +46,7 @@ func Im2Col(g ConvGeom, src []float32, col []float32) {
 	if len(col) != rows*cols {
 		panic(fmt.Sprintf("tensor: Im2Col col has %d elements, want %d", len(col), rows*cols))
 	}
+	defer kernel.StartPhase(kernel.PhaseIm2col).End()
 	par.ForGrain(rows, 8, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			c := r / (g.KH * g.KW)
@@ -93,6 +95,7 @@ func Col2Im(g ConvGeom, col []float32, dst []float32) {
 	if len(col) != rows*cols {
 		panic(fmt.Sprintf("tensor: Col2Im col has %d elements, want %d", len(col), rows*cols))
 	}
+	defer kernel.StartPhase(kernel.PhaseIm2col).End()
 	// Parallelize over input channels: every destination element belongs to
 	// exactly one channel, so channel-partitioned writes never race.
 	par.ForGrain(g.InC, 1, func(clo, chi int) {

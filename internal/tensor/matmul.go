@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 )
 
@@ -22,12 +23,14 @@ func MatMul(a, b *Tensor) *Tensor {
 // argument when the corresponding flag is set. A is [m,k] (or [k,m] when
 // transA), B is [k,n] (or [n,k] when transB) and C must be [m,n].
 //
-// The kernel parallelizes over blocks of rows of C; each row of C is written
-// by exactly one goroutine, so results are deterministic regardless of the
-// worker count. The inner loops are ordered i-k-j so the innermost traversal
-// is unit-stride over both B and C, which lets the compiler keep the hot path
-// in registers — this is the single most performance-critical routine in the
-// repository (conv layers lower onto it via im2col).
+// The heavy lifting lives in internal/kernel's blocked micro-kernels
+// (k-tiled, register-blocked, panel-packed for the transposed-A case);
+// this wrapper validates shapes, parallelizes over blocks of rows of C and
+// accounts the call to the profiler's gemm phase. Each row of C is written
+// by exactly one goroutine and accumulated in a fixed order, so results
+// are deterministic regardless of the worker count — this is the single
+// most performance-critical routine in the repository (conv layers lower
+// onto it via im2col).
 func Gemm(transA, transB bool, alpha float32, a, b *Tensor, beta float32, c *Tensor) {
 	ra, ca := mustMatrix("Gemm A", a)
 	rb, cb := mustMatrix("Gemm B", b)
@@ -43,6 +46,7 @@ func Gemm(transA, transB bool, alpha float32, a, b *Tensor, beta float32, c *Ten
 	if k != kb || rc != m || cc != n {
 		panic(fmt.Sprintf("tensor: Gemm shape mismatch op(A)=[%d,%d] op(B)=[%d,%d] C=[%d,%d]", m, k, kb, n, rc, cc))
 	}
+	defer kernel.StartPhase(kernel.PhaseGemm).End()
 	ad, bd, cd := a.Data, b.Data, c.Data
 
 	// Choose a row granularity that gives each worker a few thousand
@@ -55,111 +59,37 @@ func Gemm(transA, transB bool, alpha float32, a, b *Tensor, beta float32, c *Ten
 	switch {
 	case !transA && !transB:
 		par.ForGrain(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				crow := cd[i*n : (i+1)*n]
-				if beta == 0 {
-					for j := range crow {
-						crow[j] = 0
-					}
-				} else if beta != 1 {
-					for j := range crow {
-						crow[j] *= beta
-					}
-				}
-				arow := ad[i*k : (i+1)*k]
-				for l, av := range arow {
-					if av == 0 {
-						continue
-					}
-					s := alpha * av
-					brow := bd[l*n : (l+1)*n]
-					for j, bv := range brow {
-						crow[j] += s * bv
-					}
-				}
-			}
+			kernel.GemmNN(hi-lo, n, k, alpha, ad[lo*k:hi*k], bd, beta, cd[lo*n:hi*n])
 		})
 	case transA && !transB:
+		// op(A) row i is column i of the [k, m] array ad (row stride ca).
 		par.ForGrain(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				crow := cd[i*n : (i+1)*n]
-				if beta == 0 {
-					for j := range crow {
-						crow[j] = 0
-					}
-				} else if beta != 1 {
-					for j := range crow {
-						crow[j] *= beta
-					}
-				}
-				for l := 0; l < k; l++ {
-					av := ad[l*ca+i]
-					if av == 0 {
-						continue
-					}
-					s := alpha * av
-					brow := bd[l*n : (l+1)*n]
-					for j, bv := range brow {
-						crow[j] += s * bv
-					}
-				}
-			}
+			kernel.GemmTN(hi-lo, n, k, alpha, ad, ca, lo, bd, beta, cd[lo*n:hi*n])
 		})
 	case !transA && transB:
 		par.ForGrain(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow := ad[i*k : (i+1)*k]
-				crow := cd[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					brow := bd[j*k : (j+1)*k]
-					var s float32
-					for l, av := range arow {
-						s += av * brow[l]
-					}
-					if beta == 0 {
-						crow[j] = alpha * s
-					} else {
-						crow[j] = beta*crow[j] + alpha*s
-					}
-				}
-			}
+			kernel.GemmNT(hi-lo, n, k, alpha, ad[lo*k:hi*k], bd, beta, cd[lo*n:hi*n])
 		})
 	default: // transA && transB
 		par.ForGrain(m, grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				crow := cd[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					var s float32
-					for l := 0; l < k; l++ {
-						s += ad[l*ca+i] * bd[j*cb+l]
-					}
-					if beta == 0 {
-						crow[j] = alpha * s
-					} else {
-						crow[j] = beta*crow[j] + alpha*s
-					}
-				}
-			}
+			kernel.GemmTT(hi-lo, n, k, alpha, ad, ca, lo, bd, cb, beta, cd[lo*n:hi*n])
 		})
 	}
 }
 
-// MatVec returns y = A·x for A [m,n] and x [n].
+// MatVec returns y = A·x for A [m,n] and x [n]. Each output element is one
+// fixed-tree kernel dot product, so y is deterministic for any chunking.
 func MatVec(a, x *Tensor) *Tensor {
 	m, n := mustMatrix("MatVec A", a)
 	if x.Numel() != n {
 		panic(fmt.Sprintf("tensor: MatVec: A is [%d,%d], x has %d elements", m, n, x.Numel()))
 	}
+	defer kernel.StartPhase(kernel.PhaseGemm).End()
 	y := New(m)
 	ad, xd, yd := a.Data, x.Data, y.Data
 	par.ForGrain(m, 32, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := ad[i*n : (i+1)*n]
-			var s float32
-			for j, v := range row {
-				s += v * xd[j]
-			}
-			yd[i] = s
+			yd[i] = kernel.PairwiseDot(ad[i*n:(i+1)*n], xd)
 		}
 	})
 	return y

@@ -193,6 +193,15 @@ type (
 	// behind the backward pass and the exposed remainder (see
 	// EngineConfig's Overlap field).
 	OverlapStats = dist.OverlapStats
+	// ReductionPolicy selects the gradient-reduction arithmetic:
+	// CanonicalF64 (float64, canonical order — the default) or
+	// PairwiseF32 (the fixed-tree float32 kernel; faster, and still
+	// bit-identical across worker counts and topologies).
+	ReductionPolicy = dist.Reduction
+	// ProfileStats splits hot-loop wall time into gemm/im2col/reduce/
+	// codec/other phase buckets that sum exactly to the profiled wall
+	// time (see EngineConfig's Profile field).
+	ProfileStats = dist.ProfileStats
 	// FaultPlan injects deterministic drops/stalls into the engine's
 	// reduction schedule; recovery is exact. Workers it marks permanently
 	// Dead never recover — pair with ElasticPolicy.
@@ -247,6 +256,21 @@ const (
 	// Ring is bandwidth-optimal chunked ring allreduce.
 	Ring = dist.Ring
 )
+
+// Reduction policies (EngineConfig.Reduction / TrainConfig.Reduction).
+const (
+	// CanonicalF64 sums in float64, canonical shard order (the default).
+	CanonicalF64 = dist.CanonicalF64
+	// PairwiseF32 sums in float32 through a fixed-shape pairwise tree.
+	PairwiseF32 = dist.PairwiseF32
+)
+
+// AllreduceWith runs one reduction + broadcast under an explicit reduction
+// policy; Allreduce is AllreduceWith at CanonicalF64.
+func AllreduceWith(algo Algorithm, policy ReductionPolicy, bufs [][]float32, stats *CommStats) {
+	dist.ReduceWith(algo, policy, bufs, stats)
+	dist.Broadcast(algo, bufs, stats)
+}
 
 // NewEngine builds a synchronous data-parallel engine over replicas.
 func NewEngine(cfg EngineConfig, replicas []*Network) *Engine { return dist.NewEngine(cfg, replicas) }
