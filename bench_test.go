@@ -121,8 +121,11 @@ func BenchmarkReduction(b *testing.B) {
 
 // BenchmarkGemm times the blocked GEMM micro-kernels behind every conv and
 // linear layer (tensor.Gemm lowers onto internal/kernel) at the layer
-// shapes the micro models hit and at a square compute-bound size. CI runs
-// this at -benchtime 1x as a smoke test.
+// shapes the micro models hit and at a square compute-bound size, in both
+// storage precisions: /f32 is the float32 path, /f16 the binary16-storage
+// path (tensor.GemmHalf, float32 accumulation). The f32/f16 pairs are what
+// cmd/benchjson turns into the speedup ratios archived in BENCH_gemm.json.
+// CI runs this at -benchtime 1x as a smoke test.
 func BenchmarkGemm(b *testing.B) {
 	shapes := []struct {
 		name    string
@@ -133,15 +136,24 @@ func BenchmarkGemm(b *testing.B) {
 		{"fc/512x1024x64", 512, 1024, 64},
 	}
 	for _, sh := range shapes {
-		b.Run(sh.name, func(b *testing.B) {
-			r := rng.New(2)
-			a := tensor.RandNormal(r, 1, sh.m, sh.k)
-			x := tensor.RandNormal(r, 1, sh.k, sh.n)
-			c := tensor.New(sh.m, sh.n)
-			b.SetBytes(int64(2 * sh.m * sh.k * sh.n * 4))
-			b.ResetTimer()
+		r := rng.New(2)
+		a := tensor.RandNormal(r, 1, sh.m, sh.k)
+		x := tensor.RandNormal(r, 1, sh.k, sh.n)
+		ah, xh := tensor.NewHalf(sh.m, sh.k), tensor.NewHalf(sh.k, sh.n)
+		tensor.PackHalf(ah, a)
+		tensor.PackHalf(xh, x)
+		c := tensor.New(sh.m, sh.n)
+		flops := int64(2 * sh.m * sh.k * sh.n * 4)
+		b.Run(sh.name+"/f32", func(b *testing.B) {
+			b.SetBytes(flops)
 			for i := 0; i < b.N; i++ {
 				tensor.Gemm(false, false, 1, a, x, 0, c)
+			}
+		})
+		b.Run(sh.name+"/f16", func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				tensor.GemmHalf(false, false, 1, ah, xh, 0, c)
 			}
 		})
 	}

@@ -1,0 +1,181 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive benchmark runs as machine-readable
+// artifacts (BENCH_gemm.json) instead of scraping logs.
+//
+//	go test ./internal/kernel -run '^$' -bench . | go run ./cmd/benchjson -o BENCH_gemm.json
+//
+// Besides the raw per-benchmark numbers it pairs every f32/f16 sub-benchmark
+// split (names differing only in a trailing "/f32" vs "/f16") and records
+// the speedup ratio — the number the mixed-precision acceptance criterion
+// (f16 GEMM at least 1.2x f32) is checked against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup pairs an f32 baseline with its f16 counterpart.
+type Speedup struct {
+	Name    string  `json:"name"` // shared prefix, without the /f32 suffix
+	F32Ns   float64 `json:"f32_ns_per_op"`
+	F16Ns   float64 `json:"f16_ns_per_op"`
+	Speedup float64 `json:"speedup"` // f32 / f16, >1 means f16 is faster
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Benchmarks))
+}
+
+// parse consumes go-test bench output: header context lines followed by
+// result lines of the form
+//
+//	BenchmarkName-8   	 1234	 5678 ns/op	 90.1 MB/s	 12 B/op	 3 allocs/op
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		bm := Benchmark{Name: trimProcs(fields[0])}
+		var err error
+		if bm.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if bm.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "MB/s":
+				bm.MBPerS = v
+			case "B/op":
+				bm.BytesPerOp = v
+			case "allocs/op":
+				bm.AllocsOp = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Speedups = pairSpeedups(rep.Benchmarks)
+	return rep, nil
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// pairSpeedups matches every ".../f32" benchmark with its ".../f16" twin.
+func pairSpeedups(bms []Benchmark) []Speedup {
+	byName := make(map[string]float64, len(bms))
+	for _, bm := range bms {
+		byName[bm.Name] = bm.NsPerOp
+	}
+	var out []Speedup
+	for _, bm := range bms {
+		base, ok := strings.CutSuffix(bm.Name, "/f32")
+		if !ok {
+			continue
+		}
+		f16, ok := byName[base+"/f16"]
+		if !ok || f16 == 0 {
+			continue
+		}
+		out = append(out, Speedup{Name: base, F32Ns: bm.NsPerOp, F16Ns: f16, Speedup: bm.NsPerOp / f16})
+	}
+	return out
+}

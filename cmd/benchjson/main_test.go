@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/kernel
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGemm/square/256x256x256/f32-8         	      50	   7121087 ns/op	4711.98 MB/s
+BenchmarkGemm/square/256x256x256/f16-8         	     195	   1774555 ns/op	18908.64 MB/s
+BenchmarkReduction/pairwise-f32-8              	     433	    774181 ns/op	10835.46 MB/s
+some unrelated line
+PASS
+ok  	repro/internal/kernel	3.848s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "repro/internal/kernel" {
+		t.Fatalf("context not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	bm := rep.Benchmarks[0]
+	if bm.Name != "BenchmarkGemm/square/256x256x256/f32" || bm.Iterations != 50 || bm.NsPerOp != 7121087 || bm.MBPerS != 4711.98 {
+		t.Fatalf("first benchmark parsed wrong: %+v", bm)
+	}
+	// The trailing "-f32" of the reduction bench is a policy name, not a
+	// GOMAXPROCS suffix; only the numeric "-8" must be trimmed.
+	if rep.Benchmarks[2].Name != "BenchmarkReduction/pairwise-f32" {
+		t.Fatalf("procs suffix trimmed wrong: %q", rep.Benchmarks[2].Name)
+	}
+	if len(rep.Speedups) != 1 {
+		t.Fatalf("found %d speedup pairs, want 1", len(rep.Speedups))
+	}
+	s := rep.Speedups[0]
+	if s.Name != "BenchmarkGemm/square/256x256x256" || s.Speedup < 4.0 || s.Speedup > 4.02 {
+		t.Fatalf("speedup pair wrong: %+v", s)
+	}
+}

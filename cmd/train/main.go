@@ -52,9 +52,26 @@
 // pinned -shards split, because the summation tree's shape depends only on
 // the shard count). -profile turns on the per-step phase profiler: the
 // final report adds a line splitting hot-loop wall time into
-// gemm/im2col/reduce/codec/other shares that sum exactly to the profiled
-// wall time — the measured answer to "is this run compute- or
+// gemm/im2col/convert/reduce/codec/other shares that sum exactly to the
+// profiled wall time — the measured answer to "is this run compute- or
 // reduction-bound?".
+//
+// # Mixed precision
+//
+// -precision f16 switches the conv/fc hot path to binary16 storage: GEMM
+// operands (weights, im2col panels, activations and their gradients) are
+// packed to IEEE half precision and every product accumulates in float32,
+// while the optimizer, gradient reduction and weight broadcast keep float32
+// master values — the paper's NVIDIA half-precision recipe. Small gradients
+// would flush to zero in binary16, so the trainer runs dynamic loss
+// scaling: the loss gradient is multiplied by a power-of-two scale
+// (-loss-scale sets the starting point, default 2^16) before backward,
+// master gradients are unscaled exactly after reduction, and a step whose
+// gradients overflow to Inf/NaN is skipped while the scale halves; after a
+// stable stretch the scale doubles again. The final report adds a precision
+// line with the scaler's end state. The f16 trajectory keeps the engine's
+// bit-identity contract across -workers, topologies and -overlap for a
+// pinned -shards split; it differs from the f32 trajectory by construction.
 //
 // # Elastic membership (preemptible fleets)
 //
@@ -112,6 +129,16 @@
 //	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
 //	      -warmup 2 -workers 4 -shards 4 -algo ring \
 //	      -reduction pairwise -profile
+//
+// The paper's recipe on the binary16 compute path with the hot loop
+// profiled — the profile line's convert share is the packing overhead, the
+// gemm share shrinks against the f32 run, and the closing precision line
+// reports the dynamic loss scaler's end state (scale, skipped steps,
+// growths):
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -shards 4 -algo ring \
+//	      -precision f16 -profile
 package main
 
 import (
@@ -127,6 +154,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -151,7 +179,9 @@ func main() {
 		bucket     = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
 		overlap    = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
 		reduction  = flag.String("reduction", "canonical", "gradient reduction arithmetic: canonical (f64 canonical order) | pairwise (fixed-tree f32 kernel)")
-		profile    = flag.Bool("profile", false, "profile the hot loop per step and report gemm/im2col/reduce/codec/other wall-time shares")
+		profile    = flag.Bool("profile", false, "profile the hot loop per step and report gemm/im2col/convert/reduce/codec/other wall-time shares")
+		precision  = flag.String("precision", "f32", "compute precision: f32 | f16 (binary16 GEMM operands, float32 accumulation and masters)")
+		lossScale  = flag.Float64("loss-scale", 0, "initial dynamic loss scale under -precision f16 (0 = 2^16; rounded to a power of two)")
 		codec      = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
 		dropRate   = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
 		stallRate  = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
@@ -236,6 +266,14 @@ func main() {
 		}
 	}
 
+	prec, err := tensor.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lossScale != 0 && prec != tensor.F16 {
+		log.Fatal("-loss-scale needs -precision f16")
+	}
+
 	var reductionPolicy dist.Reduction
 	switch *reduction {
 	case "canonical":
@@ -293,6 +331,8 @@ func main() {
 		Overlap:      *overlap,
 		Reduction:    reductionPolicy,
 		Profile:      *profile,
+		Precision:    prec,
+		LossScale:    *lossScale,
 		Codec:        payloadCodec,
 		Faults:       faults,
 		Elastic:      policy,
@@ -350,6 +390,10 @@ func main() {
 	}
 	if *profile {
 		fmt.Printf("profile: %s\n", res.Profile)
+	}
+	if prec == tensor.F16 {
+		fmt.Printf("precision: f16 loss_scale=%g overflows=%d growths=%d\n",
+			res.Scale.Scale, res.Scale.Overflows, res.Scale.Growths)
 	}
 	if res.Diverged {
 		os.Exit(2)

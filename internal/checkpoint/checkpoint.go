@@ -10,8 +10,12 @@
 // interrupted and resumed from a checkpoint is bit-identical to an
 // uninterrupted one.
 //
-// Beyond weights, a checkpoint can carry the two pieces of engine state a
-// faulty compressed run needs to resume exactly:
+// Beyond weights, a checkpoint can carry the extra pieces of engine state a
+// mixed-precision or faulty compressed run needs to resume exactly:
+//
+//   - the dynamic loss scaler’s scale and counters
+//     (CaptureLossScale/RestoreLossScale) — the scale is part of a
+//     mixed-precision trajectory, since it decides which steps overflow;
 //
 //   - the 1-bit codec's per-slot error-feedback residuals
 //     (CaptureOneBit/RestoreOneBit) — without them the first post-resume
@@ -37,6 +41,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/nn"
+	"repro/internal/opt"
 )
 
 // magic identifies checkpoint files; version gates format changes.
@@ -127,6 +132,32 @@ func (c *Checkpoint) RestoreOneBit(z *dist.OneBitCodec) error {
 			return fmt.Errorf("checkpoint: bad codec section name %q: %w", s.Name, err)
 		}
 		z.RestoreSlot(slot, s.Data)
+	}
+	return nil
+}
+
+// lossScaleSection names the section carrying the dynamic loss scaler's
+// state (see opt.LossScaler.State).
+const lossScaleSection = "lossscale:state"
+
+// CaptureLossScale appends the dynamic loss scaler's state — the current
+// scale exponent and its overflow/growth counters — so a mixed-precision
+// run can resume with the scaler exactly where it left off (the scale value
+// affects which future steps overflow, so it is part of the trajectory).
+func (c *Checkpoint) CaptureLossScale(s *opt.LossScaler) {
+	c.Add(lossScaleSection, s.State())
+}
+
+// RestoreLossScale installs a captured scaler state into s. A checkpoint
+// without the section leaves s untouched (a full-precision run has no
+// scaler state to restore).
+func (c *Checkpoint) RestoreLossScale(s *opt.LossScaler) error {
+	data := c.Find(lossScaleSection)
+	if data == nil {
+		return nil
+	}
+	if err := s.SetState(data); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
 }

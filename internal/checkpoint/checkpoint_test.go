@@ -373,3 +373,51 @@ func TestFaultyCompressedRunResumesBitIdentical(t *testing.T) {
 		t.Fatal("dropping the codec residuals changed nothing — the capture is vacuous")
 	}
 }
+
+// TestLossScaleRoundTrip: the scaler section survives serialization and
+// restores the scaler to the exact scale and counters, and a checkpoint
+// without the section leaves the target scaler untouched.
+func TestLossScaleRoundTrip(t *testing.T) {
+	s := opt.NewLossScaler(4096, 2)
+	p := nn.NewParam("w", 8)
+	p.G.Data[3] = float32(math.Inf(1))
+	s.Update([]*nn.Param{p}) // overflow: halve to 2048
+	p.G.Data[3] = 1e-3
+	s.Update([]*nn.Param{p})
+	s.Update([]*nn.Param{p}) // growth interval reached: back to 4096
+
+	c := &Checkpoint{Step: 3}
+	c.CaptureLossScale(s)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.NewLossScaler(0, 2)
+	if err := got.RestoreLossScale(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale() != s.Scale() || r.Stats() != s.Stats() {
+		t.Fatalf("restored scaler %+v, want %+v", r.Stats(), s.Stats())
+	}
+
+	// No section: the scaler keeps its fresh state.
+	fresh := opt.NewLossScaler(0, 2)
+	want := fresh.Stats()
+	if err := (&Checkpoint{}).RestoreLossScale(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats() != want {
+		t.Fatal("empty checkpoint modified the scaler")
+	}
+
+	// A corrupt section surfaces as an error.
+	bad := &Checkpoint{}
+	bad.Add("lossscale:state", []float32{99, 0, 0, 0})
+	if err := bad.RestoreLossScale(opt.NewLossScaler(0, 2)); err == nil {
+		t.Fatal("out-of-range scale state accepted")
+	}
+}

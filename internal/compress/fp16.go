@@ -1,86 +1,38 @@
 package compress
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/kernel"
+)
 
 // FP16 gradient exchange: IEEE 754 binary16 conversion, the milder
 // compression point between full precision and 1-bit. The paper notes
 // NVIDIA's 2-hour DGX-1 AlexNet result used half precision ("whose cost is
 // half of the standard single-precision operation"); halving gradient bytes
 // likewise halves the beta term of every allreduce.
+//
+// The conversion arithmetic lives in internal/kernel (it is shared with the
+// mixed-precision compute path); this package re-exports it under the codec's
+// historical names. The kernel converters use branch-free magic-number
+// arithmetic that is several times faster than the classic switch-based
+// conversion — the tests in internal/kernel pin them to the same
+// round-to-nearest-even semantics over all 2^16 halves and a dense probe of
+// the float32 rounding boundaries.
 
 // Float32ToHalf converts a float32 to its nearest binary16 representation
 // (round-to-nearest-even), handling subnormals, infinities and NaN.
-func Float32ToHalf(f float32) uint16 {
-	bits := math.Float32bits(f)
-	sign := uint16(bits>>16) & 0x8000
-	exp := int32(bits>>23&0xff) - 127 + 15
-	mant := bits & 0x7fffff
-
-	switch {
-	case exp >= 0x1f:
-		// Overflow to infinity; preserve NaN payload bit.
-		if int32(bits>>23&0xff) == 0xff && mant != 0 {
-			return sign | 0x7e00 // quiet NaN
-		}
-		return sign | 0x7c00
-	case exp <= 0:
-		// Subnormal or zero in half precision.
-		if exp < -10 {
-			return sign
-		}
-		mant |= 0x800000
-		shift := uint32(14 - exp)
-		half := uint16(mant >> shift)
-		// Round to nearest even.
-		rem := mant & ((1 << shift) - 1)
-		halfway := uint32(1) << (shift - 1)
-		if rem > halfway || (rem == halfway && half&1 == 1) {
-			half++
-		}
-		return sign | half
-	default:
-		half := sign | uint16(exp)<<10 | uint16(mant>>13)
-		rem := mant & 0x1fff
-		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
-			half++
-		}
-		return half
-	}
-}
+func Float32ToHalf(f float32) uint16 { return kernel.Float32ToHalf(f) }
 
 // HalfToFloat32 converts a binary16 value back to float32 exactly.
-func HalfToFloat32(h uint16) float32 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h >> 10 & 0x1f)
-	mant := uint32(h & 0x3ff)
-	switch exp {
-	case 0:
-		if mant == 0 {
-			return math.Float32frombits(sign)
-		}
-		// Subnormal: normalize.
-		e := uint32(127 - 15 + 1)
-		for mant&0x400 == 0 {
-			mant <<= 1
-			e--
-		}
-		mant &= 0x3ff
-		return math.Float32frombits(sign | e<<23 | mant<<13)
-	case 0x1f:
-		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
-	default:
-		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
-	}
-}
+func HalfToFloat32(h uint16) float32 { return kernel.HalfToFloat32(h) }
 
 // EncodeFP16 packs a float32 slice to binary16.
 func EncodeFP16(src []float32, dst []uint16) {
 	if len(dst) != len(src) {
 		panic("compress: EncodeFP16 length mismatch")
 	}
-	for i, v := range src {
-		dst[i] = Float32ToHalf(v)
-	}
+	kernel.EncodeHalf(dst, src)
 }
 
 // DecodeFP16 unpacks binary16 back to float32.
@@ -88,9 +40,7 @@ func DecodeFP16(src []uint16, dst []float32) {
 	if len(dst) != len(src) {
 		panic("compress: DecodeFP16 length mismatch")
 	}
-	for i, v := range src {
-		dst[i] = HalfToFloat32(v)
-	}
+	kernel.DecodeHalf(dst, src)
 }
 
 // FP16RoundTripError returns the max relative error introduced by one

@@ -126,3 +126,35 @@ func TestFP16MonotoneOnPositives(t *testing.T) {
 		prev = h
 	}
 }
+
+// BenchmarkFP16Codec measures the codec's batched conversion throughput —
+// the kernel's magic-number converters versus a per-element loop over the
+// exported scalar API (what the codec did before the batched delegation).
+func BenchmarkFP16Codec(b *testing.B) {
+	const n = 1 << 16
+	src := make([]float32, n)
+	r := rng.New(11)
+	for i := range src {
+		src[i] = r.NormFloat32()
+	}
+	half := make([]uint16, n)
+	dst := make([]float32, n)
+	b.Run("batched", func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			EncodeFP16(src, half)
+			DecodeFP16(half, dst)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			for j, v := range src {
+				half[j] = Float32ToHalf(v)
+			}
+			for j, h := range half {
+				dst[j] = HalfToFloat32(h)
+			}
+		}
+	})
+}

@@ -143,6 +143,25 @@ type Config struct {
 	// paper's "weak data augmentation" rows.
 	Augment bool
 
+	// Precision selects the storage precision of the conv/fc GEMM operands
+	// (tensor.F32, the default, or tensor.F16). Under F16 every replica
+	// computes forward and backward through the binary16 kernels with
+	// float32 accumulation while the optimizer, gradient reduction and
+	// weight broadcast all stay on float32 masters, and Train drives
+	// dynamic loss scaling (see LossScale). The F16 trajectory is
+	// bit-identical across Workers, Topology, Overlap and pinned Shards —
+	// the same decomposition-invariance contract as F32 — but differs from
+	// the F32 trajectory (operands round through binary16).
+	Precision tensor.Precision
+	// LossScale is the initial dynamic loss scale used when Precision is
+	// F16 (0 selects opt.DefaultLossScale, 2^16). The seed gradient is
+	// multiplied by the scale before backward so small gradients survive
+	// binary16 storage; after reduction the float32 master gradients are
+	// unscaled exactly (the scale is a power of two) or, on Inf/NaN, the
+	// step is skipped and the scale halves. Result.Scale reports the
+	// scaler's activity.
+	LossScale float64
+
 	// MicroBatch, when positive and smaller than Batch, processes each
 	// global batch in sequential chunks of this size, accumulating
 	// gradients before the optimizer step — gradient accumulation, the
@@ -240,9 +259,13 @@ type Result struct {
 	// Config.Elastic was set and the fault plan killed a worker.
 	Membership dist.MembershipStats
 	// Profile splits the run's hot-loop wall time into
-	// gemm/im2col/reduce/codec/other phase buckets (summing exactly to
-	// Profile.WallNS). Zero unless Config.Profile was set.
+	// gemm/im2col/convert/reduce/codec/other phase buckets (summing
+	// exactly to Profile.WallNS). Zero unless Config.Profile was set.
 	Profile dist.ProfileStats
+	// Scale reports the dynamic loss scaler's final scale and its
+	// overflow/growth counters. Zero unless the run trained under
+	// Config.Precision == tensor.F16 (or an explicit Config.LossScale).
+	Scale opt.ScaleStats
 }
 
 // Train runs the configured recipe on the dataset and returns the result.
@@ -259,6 +282,9 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	replicas := make([]*nn.Network, cfg.Workers)
 	for i := range replicas {
 		replicas[i] = cfg.Model(cfg.Seed + uint64(i)*7919)
+		if cfg.Precision != tensor.F32 {
+			replicas[i].SetPrecision(cfg.Precision)
+		}
 	}
 	engine := dist.NewEngine(dist.Config{
 		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
@@ -293,6 +319,15 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	var aug *data.Augmenter
 	if cfg.Augment {
 		aug = data.NewAugmenter(2, true, rng.New(cfg.Seed^0xa5a5a5a5))
+	}
+
+	// Dynamic loss scaling rides the F16 path (or an explicit LossScale):
+	// the engine scales the seed gradient before backward; after reduction
+	// the scaler unscales the float32 master gradients exactly, or skips
+	// the step and halves on overflow.
+	var scaler *opt.LossScaler
+	if cfg.Precision == tensor.F16 || cfg.LossScale > 0 {
+		scaler = opt.NewLossScaler(cfg.LossScale, 0)
 	}
 
 	// Gradient-accumulation buffers (allocated only when micro-batching).
@@ -352,6 +387,9 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 			if aug != nil {
 				aug.Apply(x)
 			}
+			if scaler != nil {
+				engine.SetLossScale(scaler.Scale())
+			}
 			loss, err := computeBatchGradient(x, labels)
 			if err != nil {
 				return nil, err
@@ -361,6 +399,17 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 				epochLoss += loss
 				epochSteps++
 				break
+			}
+			if scaler != nil && !scaler.Update(masterParams) {
+				// Overflowed gradients: skip the optimizer step and the
+				// weight broadcast (weights are unchanged, so the replicas
+				// are still in sync) and retry at the halved scale. The
+				// schedule still advances — a skipped step consumes its
+				// slot, as on real mixed-precision trainers.
+				epochLoss += loss
+				epochSteps++
+				step++
+				continue
 			}
 			optimizer.Step(sched.LR(step, totalSteps))
 			if err := engine.BroadcastWeights(); err != nil {
@@ -397,6 +446,9 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	res.Overlap = engine.OverlapStats()
 	res.Membership = engine.Membership()
 	res.Profile = engine.Profile()
+	if scaler != nil {
+		res.Scale = scaler.Stats()
+	}
 	res.Wall = time.Since(start)
 	return res, nil
 }

@@ -9,6 +9,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
 )
 
 // tinyDataset is a fast-to-train synthetic task for unit tests.
@@ -516,5 +518,148 @@ func TestTrainProfileSurfaced(t *testing.T) {
 	}
 	if res.Profile != (dist.ProfileStats{}) {
 		t.Fatalf("unprofiled run reported profile stats: %+v", res.Profile)
+	}
+}
+
+// convFactory builds a small conv net so the F16 tests exercise the im2col
+// GEMM path, not just the MLP's plain linears. No dropout and no batch norm:
+// per-replica RNG streams and running statistics are worker-count-dependent
+// and would break bit-identity for any precision.
+func convFactory(width int) func(uint64) *nn.Network {
+	return func(seed uint64) *nn.Network {
+		r := rng.New(seed)
+		return nn.NewNetwork("conv-prec",
+			nn.NewConv("conv1", r, 3, width, 3, 1, 1, nn.ConvOpts{}),
+			nn.NewReLU("relu1"),
+			nn.NewMaxPool("pool1", 2, 2, 0),
+			nn.NewFlatten(),
+			nn.NewLinear("fc", r, width*4*4, 4),
+		)
+	}
+}
+
+// TestF16TrainerBitIdenticalAcrossDecompositions: under Precision F16 the
+// trainer keeps the repo's headline guarantee — for a pinned shard split the
+// trajectory is bit-identical across worker counts, hierarchy, overlap and
+// reduction bucketing — and the negative control shows the F16 trajectory
+// really differs from F32 (the precision switch reaches the kernels).
+func TestF16TrainerBitIdenticalAcrossDecompositions(t *testing.T) {
+	ds := tinyDataset()
+	hier := dist.NewHierarchy(2, 2)
+	run := func(precision tensor.Precision, workers int, topology *dist.Hierarchy, bucket int, overlap bool) *Result {
+		res, err := Train(Config{
+			Model: convFactory(4), Workers: workers, Shards: 4,
+			Algo: dist.Ring, Topology: topology, Bucket: bucket, Overlap: overlap,
+			Precision: precision,
+			Batch:     64, Epochs: 2, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(tensor.F16, 1, nil, 0, false)
+	if ref.Diverged {
+		t.Fatal("F16 reference run diverged")
+	}
+	if ref.Scale.Scale == 0 {
+		t.Fatalf("F16 run reported no loss-scaler activity: %+v", ref.Scale)
+	}
+	for _, tc := range []struct {
+		label string
+		res   *Result
+	}{
+		{"P=2 flat", run(tensor.F16, 2, nil, 0, false)},
+		{"P=4 flat", run(tensor.F16, 4, nil, 0, false)},
+		{"P=4 hierarchical", run(tensor.F16, 4, &hier, 0, false)},
+		{"P=4 overlap", run(tensor.F16, 4, nil, 33, true)},
+	} {
+		if len(tc.res.History) != len(ref.History) {
+			t.Fatalf("%s: history lengths differ", tc.label)
+		}
+		for e := range ref.History {
+			a, b := ref.History[e], tc.res.History[e]
+			if a.TrainLoss != b.TrainLoss {
+				t.Fatalf("%s: epoch %d F16 loss %v differs bitwise from reference %v", tc.label, e, b.TrainLoss, a.TrainLoss)
+			}
+			if !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) && a.TestAcc != b.TestAcc {
+				t.Fatalf("%s: epoch %d accuracy differs bitwise", tc.label, e)
+			}
+		}
+	}
+	// Negative control: the same seed at F32 must not reproduce the F16
+	// trajectory bit for bit.
+	f32 := run(tensor.F32, 1, nil, 0, false)
+	same := true
+	for e := range ref.History {
+		if f32.History[e].TrainLoss != ref.History[e].TrainLoss {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("F16 and F32 trajectories agree bitwise — the precision switch is not reaching the kernels")
+	}
+}
+
+// TestF16AccuracyParity: mixed precision must not cost accuracy on the
+// synthetic task — the paper's observation that half-storage training with
+// float32 masters matches full precision.
+func TestF16AccuracyParity(t *testing.T) {
+	ds := tinyDataset()
+	run := func(p tensor.Precision) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Batch: 32, Epochs: 8, Method: BaselineSGD,
+			BaseLR: 0.1, Seed: 1, Precision: p,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full, half := run(tensor.F32), run(tensor.F16)
+	if half.Diverged {
+		t.Fatal("F16 run diverged")
+	}
+	if half.TestAcc < full.TestAcc-0.05 {
+		t.Fatalf("F16 accuracy %v trails F32 accuracy %v by more than 5 points", half.TestAcc, full.TestAcc)
+	}
+}
+
+// TestF16OverflowRecovery forces overflow with an absurd initial loss scale:
+// the scaled seed gradients exceed binary16 range, the scaler must skip
+// those steps and halve until training proceeds, and the run still learns.
+func TestF16OverflowRecovery(t *testing.T) {
+	ds := tinyDataset()
+	res, err := Train(Config{
+		Model: mlpFactory(4), Batch: 32, Epochs: 8, Method: BaselineSGD,
+		BaseLR: 0.1, Seed: 1, Precision: tensor.F16, LossScale: 1 << 24,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("run diverged instead of recovering from overflow")
+	}
+	if res.Scale.Overflows == 0 {
+		t.Fatalf("scale 2^24 caused no overflows — the overflow path is dead: %+v", res.Scale)
+	}
+	if res.Scale.Scale >= 1<<24 {
+		t.Fatalf("scale did not back off: %+v", res.Scale)
+	}
+	if res.TestAcc < 0.8 {
+		t.Fatalf("accuracy %v after recovery, want >= 0.8", res.TestAcc)
+	}
+	// And the recovery itself is deterministic: a second identical run
+	// reproduces the trajectory and the scaler counters exactly.
+	res2, err := Train(Config{
+		Model: mlpFactory(4), Batch: 32, Epochs: 8, Method: BaselineSGD,
+		BaseLR: 0.1, Seed: 1, Precision: tensor.F16, LossScale: 1 << 24,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Scale != res.Scale || res2.FinalLoss != res.FinalLoss {
+		t.Fatalf("overflow recovery not deterministic: %+v vs %+v", res2.Scale, res.Scale)
 	}
 }

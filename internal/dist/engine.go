@@ -157,8 +157,18 @@ type Engine struct {
 	profile        ProfileStats // cumulative phase profile (Config.Profile only)
 	lastProfile    ProfileStats // phase profile of the most recent step
 	profActive     bool         // true once construction is done: the profile covers training steps, not setup
+	lossScale      float32      // multiplier applied to dL/dy before Backward (0 or 1: off)
 	closed         bool
 }
+
+// SetLossScale sets the factor every worker multiplies the loss gradient by
+// before back-propagating — the producer half of mixed-precision loss
+// scaling (the consumer, opt.LossScaler.Update, unscales the reduced
+// float32 gradients or skips the step on overflow). 0 and 1 both mean
+// unscaled. Call it between steps only: the worker goroutines read it while
+// a gradient job is in flight, and the job channels provide the
+// happens-before edge for a write made before dispatch.
+func (e *Engine) SetLossScale(s float32) { e.lossScale = s }
 
 type jobKind int
 
@@ -509,13 +519,22 @@ func (e *Engine) run(w int, net *nn.Network, loss *nn.SoftmaxCrossEntropy, j job
 			net.ZeroGrad()
 			out := net.Forward(x, true)
 			e.losses[slot] = loss.Forward(out, labels)
+			dl := loss.Backward()
+			if s := e.lossScale; s != 0 && s != 1 {
+				// Mixed-precision loss scaling: lift the seed gradient so
+				// small values survive binary16 storage downstream. The
+				// trainer unscales after reduction.
+				for i := range dl.Data {
+					dl.Data[i] *= s
+				}
+			}
 			if e.cfg.Overlap {
 				// gradReady flattens per parameter as Backward lands
 				// them, feeding the overlap scheduler.
 				e.curSlot[w] = slot
-				net.Backward(loss.Backward())
+				net.Backward(dl)
 			} else {
-				net.Backward(loss.Backward())
+				net.Backward(dl)
 				flatten(e.params[w], e.grads[slot])
 			}
 		}

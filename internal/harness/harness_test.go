@@ -263,3 +263,31 @@ func TestHotLoopStudyMechanics(t *testing.T) {
 		t.Fatal("volatile table's Markdown lacks the drift marker")
 	}
 }
+
+// TestMixedPrecisionStudyMechanics: the mixed-precision exhibit produces one
+// row per precision, both identity contracts must hold bitwise (with the
+// f16-vs-f32 negative control enforced inside the study), the f16 row must
+// report loss-scaler activity, and the table is volatile.
+func TestMixedPrecisionStudyMechanics(t *testing.T) {
+	tab, err := MixedPrecisionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("MixedPrecision study has %d rows, want 2 (one per precision)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "exact" {
+			t.Fatalf("precision %s identity check failed: %q", row[0], row[1])
+		}
+	}
+	if tab.Rows[0][4] != "—" {
+		t.Fatalf("f32 row reports a loss scale: %q", tab.Rows[0][4])
+	}
+	if !strings.HasPrefix(tab.Rows[1][4], "2^") {
+		t.Fatalf("f16 row's loss scale %q is not a power of two", tab.Rows[1][4])
+	}
+	if !tab.Volatile {
+		t.Fatal("MixedPrecision study must be marked volatile (its timing cells vary per machine)")
+	}
+}

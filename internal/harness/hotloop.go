@@ -18,7 +18,7 @@ import (
 // policy's determinism contract for real — one engine step at P=2 vs P=4
 // (pinned shards) and flat vs hierarchical must reduce bit-identically —
 // and (b) measures the raw reduction kernel's throughput plus a profiled
-// engine step's phase shares (gemm/im2col/reduce/codec/other, which sum
+// engine step's phase shares (gemm/im2col/convert/reduce/codec/other, which sum
 // exactly to the step wall time by the profiler's construction).
 //
 // The table's *shape* is deterministic — fixed rows, fixed columns, and
@@ -31,7 +31,7 @@ func HotLoopStudy() (*Table, error) {
 	t := &Table{
 		ID:       "HotLoop study",
 		Title:    fmt.Sprintf("Reduction policies and per-step phase profile (P=%d, micro-AlexNet)", workers),
-		Header:   []string{"reduction", "identity (P, topology)", "reduce GB/s", "step wall", "gemm", "im2col", "reduce", "codec", "other"},
+		Header:   []string{"reduction", "identity (P, topology)", "reduce GB/s", "step wall", "gemm", "im2col", "convert", "reduce", "codec", "other"},
 		Volatile: true,
 	}
 	ds := data.GenerateSynth(data.SynthConfig{
@@ -61,11 +61,11 @@ func HotLoopStudy() (*Table, error) {
 		t.Add(policy.String(), identity,
 			fmt.Sprintf("%.2f", gbps),
 			fmt.Sprintf("%.1fms", float64(prof.WallNS)/1e6),
-			pct(prof.GemmNS), pct(prof.Im2colNS), pct(prof.ReduceNS), pct(prof.CodecNS), pct(prof.OtherNS))
+			pct(prof.GemmNS), pct(prof.Im2colNS), pct(prof.ConvertNS), pct(prof.ReduceNS), pct(prof.CodecNS), pct(prof.OtherNS))
 	}
 	t.Note("Identity column is exact (dropout-free MLP, Shards pinned to 4): one engine step at P=2, P=4 and flat-vs-hierarchical P=4 must produce bitwise-equal reduced gradients under the policy — the fixed-tree pairwise kernel keeps this true in float32 because its tree shape depends only on the live shard count.")
 	t.Note("Reduce GB/s times the bare summation kernel (8 shards x 1M coords, input bytes/sec): the pairwise-f32 kernel's unrolled multi-accumulator float32 loops beat the canonical float64 chain — the ROADMAP's \"vectorizable f32 pairwise summation\" item.")
-	t.Note("Phase columns come from one profiled engine step (dist.ProfileStats): exclusive attribution guarantees the five shares sum to the step wall. GEMM dominating is Table 6's scaling-ratio story measured from execution; the reduce share is what the policy column shrinks.")
+	t.Note("Phase columns come from one profiled engine step (dist.ProfileStats): exclusive attribution guarantees the six shares sum to the step wall (convert is zero here: float32 operands never pack through binary16). GEMM dominating is Table 6's scaling-ratio story measured from execution; the reduce share is what the policy column shrinks.")
 	return t, nil
 }
 

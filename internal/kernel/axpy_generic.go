@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package kernel
+
+// axpyQuad computes c_r[j] += s_r·b[j] for r = 0..3 over j = 0..len(b)-1 —
+// the fused four-row update behind gemmRowBlock. This is the portable scalar
+// form; axpy_amd64.s carries a four-wide SSE version that performs the same
+// element-wise IEEE multiply and add, so both produce identical bits. All
+// scales must be non-zero (the caller routes zero scales through axpyRow's
+// skip path); c rows and b must have equal length.
+func axpyQuad(c0, c1, c2, c3, b []float32, s0, s1, s2, s3 float32) {
+	for j, bv := range b {
+		c0[j] += s0 * bv
+		c1[j] += s1 * bv
+		c2[j] += s2 * bv
+		c3[j] += s3 * bv
+	}
+}

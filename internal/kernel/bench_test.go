@@ -1,0 +1,83 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// benchShapes are the GEMM geometries the micro models actually feed:
+// a conv-lowered panel (outC x outH·outW with k = inC·kh·kw), a square
+// reference point, and a fully-connected batch.
+var benchShapes = []struct {
+	name    string
+	m, n, k int
+}{
+	{"conv-lowered", 32, 256, 27},
+	{"square", 256, 256, 256},
+	{"fc", 64, 512, 1024},
+}
+
+// BenchmarkGemm compares the float32 GEMM against the binary16-storage GEMM
+// at the micro-model shapes. The f16 kernels decode panels once and run the
+// SSE axpy quad, so they should beat f32 despite the widening — the ratio
+// recorded in BENCH_gemm.json is the mixed-precision speedup claim.
+func BenchmarkGemm(b *testing.B) {
+	for _, sh := range benchShapes {
+		r := rng.New(42)
+		a32 := make([]float32, sh.m*sh.k)
+		b32 := make([]float32, sh.k*sh.n)
+		for i := range a32 {
+			a32[i] = r.NormFloat32()
+		}
+		for i := range b32 {
+			b32[i] = r.NormFloat32()
+		}
+		a16 := make([]uint16, len(a32))
+		b16 := make([]uint16, len(b32))
+		EncodeHalf(a16, a32)
+		EncodeHalf(b16, b32)
+		c := make([]float32, sh.m*sh.n)
+		flops := 2 * int64(sh.m) * int64(sh.n) * int64(sh.k)
+		b.Run(fmt.Sprintf("%s/%dx%dx%d/f32", sh.name, sh.m, sh.n, sh.k), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				GemmNN(sh.m, sh.n, sh.k, 1, a32, b32, 0, c)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/%dx%dx%d/f16", sh.name, sh.m, sh.n, sh.k), func(b *testing.B) {
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				GemmNNHalf(sh.m, sh.n, sh.k, 1, a16, b16, 0, c)
+			}
+		})
+	}
+}
+
+// BenchmarkReduction times the two gradient-reduction policies over an
+// 8-shard, 256k-coordinate buffer set (input bytes/sec).
+func BenchmarkReduction(b *testing.B) {
+	const shards, n = 8, 1 << 18
+	r := rng.New(7)
+	srcs := make([][]float32, shards)
+	for s := range srcs {
+		srcs[s] = make([]float32, n)
+		for i := range srcs[s] {
+			srcs[s][i] = r.NormFloat32()
+		}
+	}
+	dst := make([]float32, n)
+	b.Run("pairwise-f32", func(b *testing.B) {
+		b.SetBytes(int64(shards) * 4 * n)
+		for i := 0; i < b.N; i++ {
+			PairwiseAccumulate(dst, srcs, nil)
+		}
+	})
+	b.Run("canonical-f64", func(b *testing.B) {
+		b.SetBytes(int64(shards) * 4 * n)
+		for i := 0; i < b.N; i++ {
+			CanonicalAccumulate(dst, srcs, nil)
+		}
+	})
+}

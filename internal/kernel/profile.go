@@ -17,6 +17,7 @@ type Phase int
 const (
 	PhaseCodec Phase = iota
 	PhaseReduce
+	PhaseConvert
 	PhaseIm2col
 	PhaseGemm
 	NumPhases
@@ -29,6 +30,8 @@ func (p Phase) String() string {
 		return "codec"
 	case PhaseReduce:
 		return "reduce"
+	case PhaseConvert:
+		return "convert"
 	case PhaseIm2col:
 		return "im2col"
 	case PhaseGemm:

@@ -23,6 +23,14 @@ type Conv2D struct {
 	x    *tensor.Tensor
 	geom tensor.ConvGeom
 	col  []float32 // scratch im2col buffer, reused across calls
+
+	// F16 compute path: binary16 copies of the GEMM operands, repacked
+	// each call (weights change every step; activations every batch). The
+	// float32 master weights in Weight are never touched by precision.
+	precision tensor.Precision
+	wHalf     *tensor.Half // Weight.W packed once per Forward
+	colHalf   *tensor.Half // im2col panel, packed per sample
+	dyHalf    *tensor.Half // dout sample, packed per sample in Backward
 }
 
 // ConvOpts configures optional Conv2D behaviour.
@@ -54,6 +62,14 @@ func NewConv(name string, r *rng.Rand, inC, outC, k, stride, pad int, opts ConvO
 
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.name }
+
+// SetPrecision implements PrecisionLayer.
+func (c *Conv2D) SetPrecision(p tensor.Precision) {
+	c.precision = p
+	if p == tensor.F16 && c.wHalf == nil {
+		c.wHalf, c.colHalf, c.dyHalf = tensor.NewHalf(), tensor.NewHalf(), tensor.NewHalf()
+	}
+}
 
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param {
@@ -95,10 +111,18 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.New(n, c.OutC, outH, outW)
 	imLen := c.InC * g.InH * g.InW
 	colM := tensor.FromSlice(col, k, l)
+	if c.precision == tensor.F16 {
+		tensor.PackHalf(c.wHalf, c.Weight.W)
+	}
 	for s := 0; s < n; s++ {
 		tensor.Im2Col(g, x.Data[s*imLen:(s+1)*imLen], col)
 		ym := tensor.FromSlice(y.Data[s*c.OutC*l:(s+1)*c.OutC*l], c.OutC, l)
-		tensor.Gemm(false, false, 1, c.Weight.W, colM, 0, ym)
+		if c.precision == tensor.F16 {
+			tensor.PackHalf(c.colHalf, colM)
+			tensor.GemmHalf(false, false, 1, c.wHalf, c.colHalf, 0, ym)
+		} else {
+			tensor.Gemm(false, false, 1, c.Weight.W, colM, 0, ym)
+		}
 	}
 	if c.useBias {
 		bd := c.Bias.W.Data
@@ -136,9 +160,19 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		dym := tensor.FromSlice(dout.Data[s*c.OutC*l:(s+1)*c.OutC*l], c.OutC, l)
 		// dW += dy · colᵀ  (recompute the im2col of the cached input).
 		tensor.Im2Col(g, x.Data[s*imLen:(s+1)*imLen], col)
-		tensor.Gemm(false, true, 1, dym, colM, 1, c.Weight.G)
-		// dx = col2im(Wᵀ · dy)
-		tensor.Gemm(true, false, 1, c.Weight.W, dym, 0, dcolM)
+		if c.precision == tensor.F16 {
+			// Ride the binary16 kernels on packed dy and col; wHalf still
+			// holds this step's weights from Forward. Gradients (G, dcol)
+			// stay float32.
+			tensor.PackHalf(c.colHalf, colM)
+			tensor.PackHalf(c.dyHalf, dym)
+			tensor.GemmHalf(false, true, 1, c.dyHalf, c.colHalf, 1, c.Weight.G)
+			tensor.GemmHalf(true, false, 1, c.wHalf, c.dyHalf, 0, dcolM)
+		} else {
+			tensor.Gemm(false, true, 1, dym, colM, 1, c.Weight.G)
+			// dx = col2im(Wᵀ · dy)
+			tensor.Gemm(true, false, 1, c.Weight.W, dym, 0, dcolM)
+		}
 		tensor.Col2Im(g, dcol, dx.Data[s*imLen:(s+1)*imLen])
 	}
 	if c.useBias {

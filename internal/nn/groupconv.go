@@ -45,6 +45,13 @@ func NewGroupedConv(name string, r *rng.Rand, inC, outC, k, stride, pad, groups 
 // Name implements Layer.
 func (g *GroupedConv2D) Name() string { return g.name }
 
+// SetPrecision implements PrecisionLayer, forwarding to every group's conv.
+func (g *GroupedConv2D) SetPrecision(p tensor.Precision) {
+	for _, c := range g.convs {
+		c.SetPrecision(p)
+	}
+}
+
 // Params implements Layer.
 func (g *GroupedConv2D) Params() []*Param {
 	var ps []*Param

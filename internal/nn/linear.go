@@ -15,6 +15,13 @@ type Linear struct {
 	Weight, Bias *Param
 
 	x *tensor.Tensor // cached input for Backward
+
+	// F16 compute path (see Conv2D): binary16 operand copies, float32
+	// master weights and gradients.
+	precision tensor.Precision
+	wHalf     *tensor.Half // Weight.W packed once per Forward
+	xHalf     *tensor.Half // input batch, packed in Forward for Backward's dW
+	dyHalf    *tensor.Half // dout, packed in Backward
 }
 
 // NewLinear constructs a fully-connected layer with He initialization.
@@ -30,6 +37,14 @@ func NewLinear(name string, r *rng.Rand, in, out int) *Linear {
 // Name implements Layer.
 func (l *Linear) Name() string { return l.name }
 
+// SetPrecision implements PrecisionLayer.
+func (l *Linear) SetPrecision(p tensor.Precision) {
+	l.precision = p
+	if p == tensor.F16 && l.wHalf == nil {
+		l.wHalf, l.xHalf, l.dyHalf = tensor.NewHalf(), tensor.NewHalf(), tensor.NewHalf()
+	}
+}
+
 // Params implements Layer.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
@@ -42,7 +57,13 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	y := tensor.New(n, l.Out)
 	// y = x · Wᵀ
-	tensor.Gemm(false, true, 1, x, l.Weight.W, 0, y)
+	if l.precision == tensor.F16 {
+		tensor.PackHalf(l.xHalf, x)
+		tensor.PackHalf(l.wHalf, l.Weight.W)
+		tensor.GemmHalf(false, true, 1, l.xHalf, l.wHalf, 0, y)
+	} else {
+		tensor.Gemm(false, true, 1, x, l.Weight.W, 0, y)
+	}
 	bd := l.Bias.W.Data
 	for s := 0; s < n; s++ {
 		row := y.Data[s*l.Out : (s+1)*l.Out]
@@ -57,7 +78,12 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n := l.x.Shape[0]
 	// dW += doutᵀ · x
-	tensor.Gemm(true, false, 1, dout, l.x, 1, l.Weight.G)
+	if l.precision == tensor.F16 {
+		tensor.PackHalf(l.dyHalf, dout)
+		tensor.GemmHalf(true, false, 1, l.dyHalf, l.xHalf, 1, l.Weight.G)
+	} else {
+		tensor.Gemm(true, false, 1, dout, l.x, 1, l.Weight.G)
+	}
 	// db += column sums of dout
 	gd := l.Bias.G.Data
 	for s := 0; s < n; s++ {
@@ -68,6 +94,10 @@ func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	// dx = dout · W
 	dx := tensor.New(n, l.In)
-	tensor.Gemm(false, false, 1, dout, l.Weight.W, 0, dx)
+	if l.precision == tensor.F16 {
+		tensor.GemmHalf(false, false, 1, l.dyHalf, l.wHalf, 0, dx)
+	} else {
+		tensor.Gemm(false, false, 1, dout, l.Weight.W, 0, dx)
+	}
 	return dx
 }

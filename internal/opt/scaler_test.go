@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func scalerParams(seed uint64, n int) []*nn.Param {
+	r := rng.New(seed)
+	p := nn.NewParam("w", n)
+	for i := range p.G.Data {
+		p.G.Data[i] = r.NormFloat32() * 1e-3
+	}
+	return []*nn.Param{p}
+}
+
+// TestLossScalerExactUnscale: for finite gradients, scaling by Scale() and
+// then Update must restore the original bits exactly — power-of-two scales
+// only shift exponents.
+func TestLossScalerExactUnscale(t *testing.T) {
+	params := scalerParams(1, 257)
+	want := append([]float32(nil), params[0].G.Data...)
+	s := NewLossScaler(0, 100)
+	for i := range params[0].G.Data {
+		params[0].G.Data[i] *= s.Scale()
+	}
+	if !s.Update(params) {
+		t.Fatal("Update skipped a finite-gradient step")
+	}
+	for i, g := range params[0].G.Data {
+		if math.Float32bits(g) != math.Float32bits(want[i]) {
+			t.Fatalf("coord %d: unscale not exact: %v vs %v", i, g, want[i])
+		}
+	}
+}
+
+// TestLossScalerRecoversFromOverflow injects Inf and NaN gradients and
+// checks the documented recovery: skip the step, halve the scale, leave
+// gradients untouched; subsequent finite steps proceed at the reduced scale.
+func TestLossScalerRecoversFromOverflow(t *testing.T) {
+	s := NewLossScaler(DefaultLossScale, 3)
+	for step, bad := range []float32{float32(math.Inf(1)), float32(math.NaN()), float32(math.Inf(-1))} {
+		params := scalerParams(uint64(step+2), 64)
+		params[0].G.Data[17] = bad
+		before := append([]float32(nil), params[0].G.Data...)
+		wantScale := s.Scale() / 2
+		if s.Update(params) {
+			t.Fatalf("step %d: Update accepted a non-finite gradient", step)
+		}
+		if s.Scale() != wantScale {
+			t.Fatalf("step %d: scale %v after overflow, want %v", step, s.Scale(), wantScale)
+		}
+		for i := range before {
+			if math.Float32bits(params[0].G.Data[i]) != math.Float32bits(before[i]) {
+				t.Fatalf("step %d: overflow path modified gradient %d", step, i)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Overflows != 3 || st.Stable != 0 {
+		t.Fatalf("stats after 3 overflows: %+v", st)
+	}
+	// Recovery: finite steps at the reduced scale are accepted, and after
+	// growthEvery of them the scale doubles again.
+	reduced := s.Scale()
+	for i := 0; i < 3; i++ {
+		if !s.Update(scalerParams(uint64(i+9), 64)) {
+			t.Fatalf("finite step %d skipped after recovery", i)
+		}
+	}
+	if s.Scale() != reduced*2 {
+		t.Fatalf("scale %v after growth interval, want %v", s.Scale(), reduced*2)
+	}
+	if s.Stats().Growths != 1 {
+		t.Fatalf("growths = %d, want 1", s.Stats().Growths)
+	}
+}
+
+// TestLossScalerDeterministic is the property test: any overflow/clean step
+// sequence drives two independent scalers to identical scales and stats,
+// and the final scale equals the replayed halvings/doublings — the behaviour
+// a distributed trainer relies on to keep replicas in lockstep.
+func TestLossScalerDeterministic(t *testing.T) {
+	f := func(pattern []bool) bool {
+		a := NewLossScaler(1024, 4)
+		b := NewLossScaler(1024, 4)
+		for step, overflow := range pattern {
+			pa := scalerParams(uint64(step), 32)
+			pb := scalerParams(uint64(step), 32)
+			if overflow {
+				pa[0].G.Data[0] = float32(math.Inf(1))
+				pb[0].G.Data[0] = float32(math.Inf(1))
+			}
+			ra, rb := a.Update(pa), b.Update(pb)
+			if ra != rb || ra == overflow {
+				return false
+			}
+			for i := range pa[0].G.Data {
+				if math.Float32bits(pa[0].G.Data[i]) != math.Float32bits(pb[0].G.Data[i]) {
+					return false
+				}
+			}
+		}
+		return a.Stats() == b.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossScalerNegativeControl: without injected non-finite values the
+// overflow path must never fire — otherwise the recovery tests above would
+// pass vacuously.
+func TestLossScalerNegativeControl(t *testing.T) {
+	s := NewLossScaler(0, 1000)
+	for step := 0; step < 50; step++ {
+		if !s.Update(scalerParams(uint64(step+100), 128)) {
+			t.Fatalf("finite step %d reported overflow", step)
+		}
+	}
+	if st := s.Stats(); st.Overflows != 0 || st.Stable != 50 {
+		t.Fatalf("stats after clean run: %+v", st)
+	}
+}
+
+// TestLossScalerState round-trips the checkpoint vector.
+func TestLossScalerState(t *testing.T) {
+	s := NewLossScaler(4096, 2)
+	p := scalerParams(3, 16)
+	p[0].G.Data[0] = float32(math.NaN())
+	s.Update(p) // overflow: scale 2048
+	s.Update(scalerParams(4, 16))
+	s.Update(scalerParams(5, 16)) // growth: scale 4096
+
+	r := NewLossScaler(0, 2)
+	if err := r.SetState(s.State()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats() != s.Stats() || r.Scale() != s.Scale() {
+		t.Fatalf("restored %+v, want %+v", r.Stats(), s.Stats())
+	}
+	if err := r.SetState([]float32{1, 2}); err == nil {
+		t.Fatal("SetState accepted a short vector")
+	}
+	if err := r.SetState([]float32{99, 0, 0, 0}); err == nil {
+		t.Fatal("SetState accepted an out-of-range scale")
+	}
+}

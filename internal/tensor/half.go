@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/par"
+)
+
+// Precision selects the storage precision of a layer's compute path. The
+// trainer always holds float32 master weights; F16 only changes how GEMM
+// operands are stored while they flow through the kernels (binary16 storage,
+// float32 accumulation), following the mixed-precision recipe of Akiba et
+// al. that the paper cites for NVIDIA's half-precision DGX-1 result.
+type Precision int
+
+const (
+	// F32 is the default full-precision path.
+	F32 Precision = iota
+	// F16 stores GEMM/MatVec operands as binary16 and accumulates in
+	// float32. Deterministic: a fixed one-rounding pack per operand plus
+	// the kernels' fixed accumulation order, so results are bit-identical
+	// under any worker count, chunking or topology — but (deliberately)
+	// not equal to the F32 path's bits.
+	F16
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case F32:
+		return "f32"
+	case F16:
+		return "f16"
+	default:
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision converts a flag string to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f32", "fp32", "float32", "":
+		return F32, nil
+	case "f16", "fp16", "half":
+		return F16, nil
+	default:
+		return F32, fmt.Errorf("tensor: unknown precision %q (want f32 or f16)", s)
+	}
+}
+
+// Half is a dense, contiguous, row-major binary16 buffer with a shape — the
+// storage type of the F16 compute path. It deliberately mirrors Tensor's
+// transparent representation; layers keep a Half scratch per operand and
+// repack it each step.
+type Half struct {
+	Shape []int
+	Data  []uint16
+}
+
+// NewHalf allocates a zero-filled half buffer with the given shape.
+func NewHalf(shape ...int) *Half {
+	return &Half{Shape: append([]int(nil), shape...), Data: make([]uint16, numel(shape))}
+}
+
+// Numel returns the number of elements.
+func (h *Half) Numel() int { return len(h.Data) }
+
+// PackHalf rounds src into h (round-to-nearest-even, one rounding per
+// element), resizing h to src's shape and reusing its storage when possible.
+// The conversion is accounted to the profiler's convert phase.
+func PackHalf(h *Half, src *Tensor) {
+	defer kernel.StartPhase(kernel.PhaseConvert).End()
+	n := len(src.Data)
+	h.Shape = append(h.Shape[:0], src.Shape...)
+	if cap(h.Data) < n {
+		h.Data = make([]uint16, n)
+	}
+	h.Data = h.Data[:n]
+	kernel.EncodeHalf(h.Data, src.Data)
+}
+
+// Float widens h into a new float32 tensor (exact), accounted to the convert
+// phase.
+func (h *Half) Float() *Tensor {
+	defer kernel.StartPhase(kernel.PhaseConvert).End()
+	t := New(h.Shape...)
+	kernel.DecodeHalf(t.Data, h.Data)
+	return t
+}
+
+// GemmHalf computes C = alpha·op(A)·op(B) + beta·C where A and B are stored
+// as binary16 and C is float32 — the F16 twin of Gemm, with the identical
+// shape contract and parallel row decomposition. Accumulation runs in
+// float32 inside the half kernels, and results are bit-identical to Gemm
+// over the widened operands for every transpose case, under any worker
+// count or chunking.
+func GemmHalf(transA, transB bool, alpha float32, a, b *Half, beta float32, c *Tensor) {
+	ra, ca := mustHalfMatrix("GemmHalf A", a)
+	rb, cb := mustHalfMatrix("GemmHalf B", b)
+	rc, cc := mustMatrix("GemmHalf C", c)
+	m, k := ra, ca
+	if transA {
+		m, k = ca, ra
+	}
+	kb, n := rb, cb
+	if transB {
+		kb, n = cb, rb
+	}
+	if k != kb || rc != m || cc != n {
+		panic(fmt.Sprintf("tensor: GemmHalf shape mismatch op(A)=[%d,%d] op(B)=[%d,%d] C=[%d,%d]", m, k, kb, n, rc, cc))
+	}
+	defer kernel.StartPhase(kernel.PhaseGemm).End()
+	ad, bd, cd := a.Data, b.Data, c.Data
+
+	// Same row-granularity heuristic as Gemm.
+	grain := 1
+	if work := k * n; work > 0 && work < 4096 {
+		grain = 4096/work + 1
+	}
+
+	switch {
+	case !transA && !transB:
+		par.ForGrain(m, grain, func(lo, hi int) {
+			kernel.GemmNNHalf(hi-lo, n, k, alpha, ad[lo*k:hi*k], bd, beta, cd[lo*n:hi*n])
+		})
+	case transA && !transB:
+		// op(A) row i is column i of the [k, m] array ad (row stride ca).
+		par.ForGrain(m, grain, func(lo, hi int) {
+			kernel.GemmTNHalf(hi-lo, n, k, alpha, ad, ca, lo, bd, beta, cd[lo*n:hi*n])
+		})
+	case !transA && transB:
+		par.ForGrain(m, grain, func(lo, hi int) {
+			kernel.GemmNTHalf(hi-lo, n, k, alpha, ad[lo*k:hi*k], bd, beta, cd[lo*n:hi*n])
+		})
+	default: // transA && transB: no layer lowers onto it; widen and fall back
+		af, bf := a.Float(), b.Float()
+		par.ForGrain(m, grain, func(lo, hi int) {
+			kernel.GemmTT(hi-lo, n, k, alpha, af.Data, ca, lo, bf.Data, cb, beta, cd[lo*n:hi*n])
+		})
+	}
+}
+
+// MatVecHalf returns y = A·x for a binary16 A [m,n] and float32 x [n]. Each
+// output element is one fixed-tree PairwiseDotHalf — bit-identical to MatVec
+// over the widened A, deterministic for any chunking.
+func MatVecHalf(a *Half, x *Tensor) *Tensor {
+	m, n := mustHalfMatrix("MatVecHalf A", a)
+	if x.Numel() != n {
+		panic(fmt.Sprintf("tensor: MatVecHalf: A is [%d,%d], x has %d elements", m, n, x.Numel()))
+	}
+	defer kernel.StartPhase(kernel.PhaseGemm).End()
+	y := New(m)
+	ad, xd, yd := a.Data, x.Data, y.Data
+	par.ForGrain(m, 32, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yd[i] = kernel.PairwiseDotHalf(ad[i*n:(i+1)*n], xd)
+		}
+	})
+	return y
+}
+
+func mustHalfMatrix(op string, h *Half) (rows, cols int) {
+	if len(h.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s: want matrix, got shape %v", op, h.Shape))
+	}
+	return h.Shape[0], h.Shape[1]
+}
