@@ -104,6 +104,19 @@ func (c *Checkpoint) ApplyToNetwork(net *nn.Network) error {
 	return nil
 }
 
+// ApplyToReplicas restores the same parameters into every network — the
+// serve-side load path, where a pool of replicas must all carry the
+// trained weights. Each network must match the checkpoint exactly, as in
+// ApplyToNetwork.
+func (c *Checkpoint) ApplyToReplicas(nets ...*nn.Network) error {
+	for i, net := range nets {
+		if err := c.ApplyToNetwork(net); err != nil {
+			return fmt.Errorf("checkpoint: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // oneBitPrefix names the sections carrying 1-bit codec residuals; the
 // suffix is the codec slot id.
 const oneBitPrefix = "codec1bit:slot:"

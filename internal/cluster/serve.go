@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+// ServeServiceModel derives the serving tier's batch-cost model for running
+// spec inference on m, anchored to the machine's efficiency curve at two
+// points: PerImage is the saturated marginal cost per image (peak FLOPS at
+// EffInf), and Base absorbs the rest of the single-image cost so S(1)
+// matches the b=1 point of the curve — the same amortize-the-overhead shape
+// as Figure 3, linearized into serve's alpha-beta form.
+func ServeServiceModel(m Machine, spec *models.ModelSpec) serve.ServiceModel {
+	prof := m.ProfileFor(spec.Name)
+	flops := float64(spec.FLOPsPerImage())
+	perImage := flops / (m.PeakFLOPS * prof.EffInf)
+	single := flops / (m.PeakFLOPS * prof.Efficiency(1))
+	toTicks := func(sec float64) serve.Ticks {
+		t := serve.Ticks(sec * serve.TicksPerSecond)
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	base := toTicks(single) - toTicks(perImage)
+	if base < 0 {
+		base = 0
+	}
+	return serve.ServiceModel{Base: base, PerImage: toTicks(perImage)}
+}
+
+// ServeEstimate answers the fleet-sizing question: how many replicas of m
+// does rate R need, and does the batch window meet the latency target?
+type ServeEstimate struct {
+	// Gap is the offered rate quantized to the virtual clock (ticks between
+	// requests); Rate the rate that gap realizes.
+	Gap  serve.Ticks
+	Rate float64
+	// Service is the derived batch-cost model, BatchSize the steady-state
+	// batch the window settles at, ServiceTicks the cost of that batch.
+	Service      serve.ServiceModel
+	BatchSize    int
+	ServiceTicks serve.Ticks
+	// Replicas is the minimum pool satisfying the capacity condition
+	// S(b) <= Replicas·b·gap — the fleet answer.
+	Replicas int
+	// Stats is the closed-form steady state at that fleet size (a window of
+	// whole batches, so percentiles are the steady-state ones).
+	Stats serve.Stats
+	// Feasible reports P99 <= the target. Infeasibility cannot be bought
+	// back with replicas — under the capacity condition latency is
+	// replica-invariant — it means the batch window itself (MaxBatch,
+	// MaxDelay) is too wide for the target.
+	Feasible bool
+	P99      serve.Ticks
+}
+
+// String renders the sizing answer in one line.
+func (e ServeEstimate) String() string {
+	verdict := "meets"
+	if !e.Feasible {
+		verdict = "misses"
+	}
+	return fmt.Sprintf("%.0f req/s: batch %d (S=%dµs), %d replica(s), p99 %dµs (%s target)",
+		e.Rate, e.BatchSize, e.ServiceTicks, e.Replicas, e.P99, verdict)
+}
+
+// SimulateServe sizes a replica fleet of m for offered rate ratePerSec
+// under the (maxBatch, maxDelay) batching window, against a p99 latency
+// target in ticks. It is entirely closed-form: the arrival gap is the
+// rate quantized to the virtual clock, the steady batch size and latency
+// percentiles come from comm.ExpectedServeStats over a window of whole
+// batches, and the replica count is the capacity condition solved for R:
+//
+//	Replicas = ⌈S(b) / (b·gap)⌉
+//
+// the serving analogue of Table 2's "how many workers for this epoch
+// budget". The same numbers are testable against serve.Simulate measured
+// counters — see the harness Serve study.
+func SimulateServe(m Machine, spec *models.ModelSpec, ratePerSec float64, maxBatch int, maxDelay, p99Target serve.Ticks) (ServeEstimate, error) {
+	if ratePerSec <= 0 {
+		return ServeEstimate{}, fmt.Errorf("cluster: serve rate %v, want > 0", ratePerSec)
+	}
+	gap := serve.Ticks(serve.TicksPerSecond/ratePerSec + 0.5)
+	if gap < 1 {
+		gap = 1
+	}
+	est := ServeEstimate{
+		Gap:     gap,
+		Rate:    serve.TicksPerSecond / float64(gap),
+		Service: ServeServiceModel(m, spec),
+	}
+	cfg := serve.Config{MaxBatch: maxBatch, MaxDelay: maxDelay, Service: est.Service}
+	est.BatchSize = comm.ServeBatchSize(cfg, gap)
+	est.ServiceTicks = est.Service.BatchTicks(est.BatchSize)
+
+	period := serve.Ticks(est.BatchSize) * gap
+	est.Replicas = int((est.ServiceTicks + period - 1) / period)
+	if est.Replicas < 1 {
+		est.Replicas = 1
+	}
+	cfg.Replicas = est.Replicas
+
+	// A window of whole batches makes the percentiles the steady-state
+	// per-batch distribution.
+	n := 100 * est.BatchSize
+	stats, err := comm.ExpectedServeStats(cfg, n, gap)
+	if err != nil {
+		return ServeEstimate{}, fmt.Errorf("cluster: sized fleet fell outside the serve model: %w", err)
+	}
+	est.Stats = stats
+	est.P99 = stats.P99
+	est.Feasible = est.P99 <= p99Target
+	return est, nil
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+func microSpec() *models.ModelSpec {
+	return models.MicroAlexNetSpec(models.MicroConfig{Classes: 8, InH: 24, Width: 8})
+}
+
+// The derived service model anchors both curve points: S(1) matches the
+// b=1 efficiency, PerImage the saturated marginal cost, and Base >= 0.
+func TestServeServiceModel(t *testing.T) {
+	m := ServeServiceModel(TeslaP100, microSpec())
+	if m.PerImage < 1 || m.Base < 0 {
+		t.Fatalf("degenerate service model: %+v", m)
+	}
+	if m.BatchTicks(64)-m.BatchTicks(63) != m.PerImage {
+		t.Fatal("marginal cost should be PerImage")
+	}
+}
+
+// Fleet sizing is the capacity condition solved for R, and its answer must
+// be tight: the sized fleet satisfies the closed-form regime, one replica
+// fewer violates it (checked against the measured scheduler, not just the
+// model).
+func TestSimulateServeSizesFleet(t *testing.T) {
+	spec := microSpec()
+	est, err := SimulateServe(TeslaP100, spec, 50_000, 16, 800, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BatchSize < 1 || est.BatchSize > 16 {
+		t.Fatalf("batch size %d outside window", est.BatchSize)
+	}
+	if est.Replicas < 1 {
+		t.Fatalf("replicas %d", est.Replicas)
+	}
+	// Capacity holds at the answer and fails one below.
+	period := serve.Ticks(est.BatchSize) * est.Gap
+	if est.ServiceTicks > serve.Ticks(est.Replicas)*period {
+		t.Fatalf("sized fleet violates capacity: %+v", est)
+	}
+	if est.Replicas > 1 && est.ServiceTicks <= serve.Ticks(est.Replicas-1)*period {
+		t.Fatalf("fleet oversized: %+v", est)
+	}
+
+	// The sizing answer agrees with a measured run at that fleet size.
+	cfg := serve.Config{MaxBatch: 16, MaxDelay: 800, Replicas: est.Replicas, Service: est.Service}
+	rep, err := serve.Simulate(cfg, serve.UniformTrace(100*est.BatchSize, est.Gap, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stats.Equal(est.Stats) {
+		t.Fatalf("sizing stats diverge from measured run:\n%s", rep.Stats.Diff(est.Stats))
+	}
+	if est.P99 != rep.Stats.P99 {
+		t.Fatalf("p99 %d vs measured %d", est.P99, rep.Stats.P99)
+	}
+}
+
+// Higher offered rate can only need more replicas, never fewer; and a
+// latency target below the single-batch service time is infeasible at any
+// fleet size.
+func TestSimulateServeMonotoneAndInfeasible(t *testing.T) {
+	spec := microSpec()
+	prev := 0
+	for _, rate := range []float64{10_000, 50_000, 200_000, 1_000_000} {
+		est, err := SimulateServe(TeslaP100, spec, rate, 16, 800, 1<<40)
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if est.Replicas < prev {
+			t.Fatalf("replicas shrank with rate: %d after %d at %v req/s", est.Replicas, prev, rate)
+		}
+		prev = est.Replicas
+	}
+
+	est, err := SimulateServe(TeslaP100, spec, 50_000, 16, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Feasible {
+		t.Fatal("1µs p99 target should be infeasible")
+	}
+	if _, err := SimulateServe(TeslaP100, spec, 0, 16, 800, 1000); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+}

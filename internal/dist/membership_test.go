@@ -3,6 +3,7 @@ package dist_test
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
@@ -226,6 +227,51 @@ func TestWorkerDeadErrorWithoutElasticity(t *testing.T) {
 	}
 	if dead.Worker != 1 || dead.Step != 2 {
 		t.Fatalf("WorkerDeadError{Worker: %d, Step: %d}, want worker 1 at step 2", dead.Worker, dead.Step)
+	}
+}
+
+// TestHierarchyNodeDeadErrorWithoutElasticity is the whole-node variant of
+// the no-forever-retry contract: when every worker of a hierarchy node dies
+// with elasticity off, the step must surface the same typed *WorkerDeadError
+// instead of the intra tier retrying forever for a leader that can never
+// form. The goroutine-plus-timeout guard turns a regression back into a
+// hang into a fast, explicit failure rather than a test-suite deadlock.
+func TestHierarchyNodeDeadErrorWithoutElasticity(t *testing.T) {
+	x, labels, factory := testTask(32)
+	h := dist.NewHierarchy(2, 2)
+	e := newEngine(dist.Config{
+		Topology: &h,
+		Faults:   &dist.FaultPlan{Dead: map[int]int64{2: 1, 3: 1}},
+	}, 4, factory)
+	defer e.Close()
+
+	if _, err := e.ComputeGradient(x, labels); err != nil {
+		t.Fatalf("healthy step 0: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.ComputeGradient(x, labels)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var dead *dist.WorkerDeadError
+		if !errors.As(err, &dead) {
+			t.Fatalf("expected *WorkerDeadError when node 1 died wholesale, got %v", err)
+		}
+		if dead.Step != 1 || (dead.Worker != 2 && dead.Worker != 3) {
+			t.Fatalf("WorkerDeadError{Worker: %d, Step: %d}, want one of node 1's workers {2, 3} at step 1",
+				dead.Worker, dead.Step)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("step with a wholly dead hierarchy node hung instead of returning *WorkerDeadError")
+	}
+
+	// The engine is still usable for inspection after the refusal: the
+	// typed error is a report, not a crash.
+	if got := e.LiveWorkers(); got != 4 {
+		t.Fatalf("world size after refused step = %d, want 4 (nobody was evicted without Elastic)", got)
 	}
 }
 

@@ -291,3 +291,52 @@ func TestMixedPrecisionStudyMechanics(t *testing.T) {
 		t.Fatal("MixedPrecision study must be marked volatile (its timing cells vary per machine)")
 	}
 }
+
+// TestServeStudyDeterministic: the serve exhibit runs entirely on the
+// virtual clock, so it rides the byte-exact analytic subset: two
+// generations must render bit-identically, every uniform-regime row's
+// model cross-check must be exact, the overload row must actually reject,
+// and the in-study controls (MaxDelay negative control, replica
+// invariance) are enforced inside ServeStudy itself — an error here means
+// one of them fired.
+func TestServeStudyDeterministic(t *testing.T) {
+	a, err := ServeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Fatal("ServeStudy does not regenerate bit-identically")
+	}
+	if a.Volatile {
+		t.Fatal("ServeStudy is exact virtual-clock arithmetic; it must not be volatile")
+	}
+	uniform, rejected := 0, false
+	for _, row := range a.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "uniform/"):
+			uniform++
+			if row[len(row)-1] != "exact" {
+				t.Fatalf("%s: model drifted: %s", row[0], row[len(row)-1])
+			}
+		case strings.Contains(row[0], "overload"):
+			if row[8] == "0" {
+				t.Fatalf("%s: overload row rejected nothing", row[0])
+			}
+			rejected = true
+		case strings.HasPrefix(row[0], "sizing/"):
+			if row[len(row)-1] != "p99 ok" {
+				t.Fatalf("%s: fleet sizing misses its latency target: %s", row[0], row[len(row)-1])
+			}
+		}
+	}
+	if uniform != 3 {
+		t.Fatalf("study has %d uniform rows, want 3", uniform)
+	}
+	if !rejected {
+		t.Fatal("study has no overload row")
+	}
+}

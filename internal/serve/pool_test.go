@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func poolFixture(t *testing.T) (func() *nn.Network, *tensor.Tensor) {
+	t.Helper()
+	factory := func() *nn.Network {
+		return models.NewMicroAlexNet(models.MicroConfig{Classes: 4, InH: 16, Width: 4, Seed: 77})
+	}
+	synth := data.GenerateSynth(data.SynthConfig{
+		Classes: 4, TrainSize: 4, TestSize: 24, C: 3, H: 16, W: 16,
+		Noise: 0.3, MaxShift: 2, Seed: 5,
+	})
+	idx := make([]int, synth.Test.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	images, _ := synth.Test.Gather(idx)
+	return factory, images
+}
+
+// Dynamic batching is invisible to clients: whatever batch a request lands
+// in, its prediction is bit-identical to a direct single-image forward on
+// the same weights — at f32 and at f16 storage precision.
+func TestPoolBatchingTransparent(t *testing.T) {
+	factory, images := poolFixture(t)
+	for _, prec := range []tensor.Precision{tensor.F32, tensor.F16} {
+		cfg := Config{MaxBatch: 5, MaxDelay: 120, Replicas: 3,
+			Service: ServiceModel{Base: 40, PerImage: 15}}
+		pool, err := NewPool(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.SetPrecision(prec)
+
+		ref := factory()
+		ref.CopyWeightsFrom(pool.Replica(0))
+		ref.SetPrecision(prec)
+
+		trace := PoissonTrace(60, 40, images.Dim(0), 11)
+		rep, preds, err := pool.Run(trace, images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Stats.Completed != int64(len(trace.Requests)) {
+			t.Fatalf("%v: completed %d of %d", prec, rep.Stats.Completed, len(trace.Requests))
+		}
+		rowLen := images.Numel() / images.Dim(0)
+		for r, req := range trace.Requests {
+			x := tensor.New(append([]int{1}, images.Shape[1:]...)...)
+			copy(x.Data, images.Data[req.Image*rowLen:(req.Image+1)*rowLen])
+			logits := ref.Forward(x, false)
+			if want := argmax(logits.Data); preds[r] != want {
+				t.Fatalf("%v: request %d predicted %d, direct forward %d", prec, r, preds[r], want)
+			}
+		}
+	}
+}
+
+// Pool output is invariant across replica counts: same trace, same
+// predictions, same stats.
+func TestPoolReplicaInvariance(t *testing.T) {
+	factory, images := poolFixture(t)
+	cfg := Config{MaxBatch: 4, MaxDelay: 200, Replicas: 1,
+		Service: ServiceModel{Base: 30, PerImage: 10}}
+	trace := UniformTrace(40, 100, images.Dim(0))
+
+	p1, err := NewPool(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, preds1, err := p1.Run(trace, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replicas = 3
+	p3, err := NewPool(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, preds3, err := p3.Run(trace, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Stats.Equal(rep3.Stats) {
+		t.Fatalf("stats diverge across replica counts:\n%s", rep1.Stats.Diff(rep3.Stats))
+	}
+	for i := range preds1 {
+		if preds1[i] != preds3[i] {
+			t.Fatalf("prediction %d diverges: %d vs %d", i, preds1[i], preds3[i])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The batcher invariants, property-tested over arbitrary seeded traces and
+// configurations via testing/quick. quick generates the raw integers; we
+// fold them into bounded configs and one of the three trace generators, so
+// every counterexample is a reproducible (config, seed) pair.
+func TestBatcherInvariantsQuick(t *testing.T) {
+	prop := func(seed uint64, rawN uint16, rawBatch, rawDelay, rawGap, rawCap, rawReplicas, kind uint8) bool {
+		cfg := Config{
+			MaxBatch: 1 + int(rawBatch%16),
+			MaxDelay: Ticks(rawDelay) * 4,
+			QueueCap: int(rawCap % 64), // 0 = unbounded, exercised too
+			Replicas: 1 + int(rawReplicas%4),
+			Service:  ServiceModel{Base: 20, PerImage: 7},
+		}
+		n := 1 + int(rawN%512)
+		gap := Ticks(1 + rawGap%200)
+		var trace Trace
+		switch kind % 3 {
+		case 0:
+			trace = UniformTrace(n, gap, 8)
+		case 1:
+			trace = PoissonTrace(n, gap, 8, seed)
+		default:
+			trace = BurstyTrace(n, 1+int(rawBatch%20), gap, gap*50, 8, seed)
+		}
+
+		rep, err := Simulate(cfg, trace)
+		if err != nil {
+			t.Logf("Simulate error: %v", err)
+			return false
+		}
+		s := rep.Stats
+
+		// Conservation: every offered request is accepted or rejected, every
+		// accepted request completes (the run drains), and outcomes agree
+		// with the counters.
+		if s.Accepted+s.Rejected != s.Offered || s.Offered != int64(n) {
+			t.Logf("conservation: %+v", s)
+			return false
+		}
+		if s.Completed != s.Accepted {
+			t.Logf("drain: completed %d != accepted %d", s.Completed, s.Accepted)
+			return false
+		}
+
+		// Histogram: bucket counts sum to Batches, weighted sum to total
+		// completed requests; no bucket beyond MaxBatch, no empty batches.
+		var nb, nr int64
+		for size, count := range s.Hist {
+			if count < 0 || (size == 0 && count != 0) {
+				t.Logf("hist bucket %d = %d", size, count)
+				return false
+			}
+			nb += count
+			nr += int64(size) * count
+		}
+		if nb != s.Batches || nr != s.Completed {
+			t.Logf("hist sums: batches %d vs %d, requests %d vs %d", nb, s.Batches, nr, s.Completed)
+			return false
+		}
+		if s.SizeFlushes+s.DeadlineFlushes != s.Batches {
+			t.Logf("flush split: %+v", s)
+			return false
+		}
+
+		// Per-batch: size bound, flush-wait bound, service pricing, members
+		// in arrival order.
+		seen := make(map[int]bool)
+		for _, b := range rep.Batches {
+			if len(b.Members) == 0 || len(b.Members) > cfg.MaxBatch {
+				t.Logf("batch size %d outside (0, %d]", len(b.Members), cfg.MaxBatch)
+				return false
+			}
+			if b.Done-b.Start != cfg.Service.BatchTicks(len(b.Members)) || b.Start < b.Flush {
+				t.Logf("batch timing: %+v", b)
+				return false
+			}
+			prev := Ticks(-1)
+			for _, r := range b.Members {
+				if seen[r] {
+					t.Logf("request %d in two batches", r)
+					return false
+				}
+				seen[r] = true
+				arrive := trace.Requests[r].Arrive
+				if arrive < prev {
+					t.Logf("batch members out of arrival order: %+v", b)
+					return false
+				}
+				prev = arrive
+				if wait := b.Flush - arrive; wait < 0 || wait > cfg.MaxDelay {
+					t.Logf("request %d flush wait %d outside [0, %d]", r, wait, cfg.MaxDelay)
+					return false
+				}
+			}
+		}
+		if int64(len(seen)) != s.Accepted {
+			t.Logf("batched %d requests, accepted %d", len(seen), s.Accepted)
+			return false
+		}
+
+		// Queue bound: with admission control on, the waiting-room
+		// high-water mark respects the cap.
+		if cfg.QueueCap > 0 && s.QueueHWM > cfg.QueueCap {
+			t.Logf("QueueHWM %d > QueueCap %d", s.QueueHWM, cfg.QueueCap)
+			return false
+		}
+
+		// Outcomes mirror counters: rejected carry the typed error and no
+		// batch; accepted carry nonnegative latency >= service floor.
+		var rejected int64
+		for i, o := range rep.Outcomes {
+			if o.Err != nil {
+				rejected++
+				if o.Err != ErrOverloaded || o.Batch != -1 {
+					t.Logf("outcome %d: %+v", i, o)
+					return false
+				}
+				continue
+			}
+			if o.Latency < cfg.Service.BatchTicks(1) {
+				t.Logf("outcome %d latency %d below single-image service", i, o.Latency)
+				return false
+			}
+		}
+		return rejected == s.Rejected
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package serve is the inference tier over the replica fleet: a
+// deterministic request scheduler that accepts single-image inference
+// requests, coalesces them into batches, and fans the batches out across a
+// pool of model replicas.
+//
+// The paper's whole argument is throughput-per-dollar at scale, and batch
+// size is the lever hardware efficiency pulls — in serving exactly as in
+// training. A production model server therefore batches dynamically: a
+// request waits a bounded time for companions, the batch flushes when it is
+// full (MaxBatch) or when its oldest member has waited MaxDelay, and the
+// flushed batch runs on whichever replica frees up first. This package
+// implements that scheduler as a discrete-event simulation over a virtual
+// clock (integer Ticks, 1 tick = 1µs by convention):
+//
+//   - arrivals come from seeded synthetic traces (UniformTrace,
+//     PoissonTrace, BurstyTrace — all pure functions of their seed),
+//   - batch formation depends only on the admitted arrival sequence and
+//     the batch window, never on the replica pool, so with an unbounded
+//     queue batch compositions and the batch-size histogram are
+//     replica-count-invariant by construction (with admission control the
+//     pool matters exactly once, at the door: a faster-draining pool
+//     admits more),
+//   - service time is priced by a deterministic ServiceModel (alpha-beta,
+//     like comm.Network: Base + PerImage·size ticks), so every latency,
+//     percentile and counter in Stats is exact reproducible arithmetic —
+//     the same run replays bit-identically anywhere,
+//   - overload is a scenario, not an outage: the waiting room is bounded
+//     (Config.QueueCap) and requests beyond it are rejected with the typed
+//     ErrOverloaded, counted in Stats.Rejected.
+//
+// Simulate runs the scheduler alone (pure virtual time); Pool couples it to
+// real nn replicas loaded from a training checkpoint and executes each
+// batch's forward pass for real. Because every layer's inference path is
+// per-sample independent (BatchNorm uses running statistics in eval mode
+// and the GEMM kernels fix each output row's accumulation order), a
+// request's prediction is bit-identical whatever batch it lands in — the
+// property that makes dynamic batching transparent to clients, tested
+// end-to-end against the training engine's forward.
+//
+// The analytic twin lives in comm.ExpectedServeStats: in the
+// deterministic-clock regime (uniform inter-arrival gap, capacity
+// sufficient) it reproduces every counter of Stats exactly — the same
+// closed-form-versus-measured contract the training engine's communication
+// schedule is held to. cluster.SimulateServe answers fleet sizing questions
+// from the same model.
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Ticks is virtual time in integer ticks; by convention 1 tick = 1
+// microsecond (TicksPerSecond). All scheduling, service and latency
+// arithmetic is integral so runs are bit-reproducible.
+type Ticks int64
+
+// TicksPerSecond converts between ticks and seconds (1 tick = 1µs).
+const TicksPerSecond = 1e6
+
+// ErrOverloaded is the typed admission-control error: the request arrived
+// with Config.QueueCap requests already waiting and was rejected rather
+// than queued. Rejected requests appear in Stats.Rejected and carry this
+// error in their Outcome.
+var ErrOverloaded = errors.New("serve: queue full, request rejected")
+
+// ServiceModel prices one batch forward pass in virtual ticks, alpha-beta
+// style: Base covers the per-batch fixed cost (dispatch, kernel launch,
+// weight access) and PerImage the marginal per-row cost of the batched
+// GEMMs. Larger batches amortize Base — the same economics that make large
+// training batches efficient (Figure 3).
+type ServiceModel struct {
+	Base     Ticks
+	PerImage Ticks
+}
+
+// BatchTicks returns the service time of a batch of the given size.
+func (m ServiceModel) BatchTicks(size int) Ticks {
+	return m.Base + Ticks(size)*m.PerImage
+}
+
+// Config describes one serving configuration.
+type Config struct {
+	// MaxBatch flushes the forming batch the moment it reaches this many
+	// requests (the size trigger). Must be >= 1.
+	MaxBatch int
+	// MaxDelay flushes the forming batch when its oldest member has waited
+	// this long (the deadline trigger), bounding the batching wait of every
+	// request. 0 flushes each request immediately in its own batch (unless
+	// same-tick companions join it).
+	MaxDelay Ticks
+	// QueueCap bounds the number of requests waiting (forming batch plus
+	// flushed batches not yet dispatched). An arrival beyond the cap is
+	// rejected with ErrOverloaded. 0 means unbounded (no admission
+	// control).
+	QueueCap int
+	// Replicas is the model replica pool size; a flushed batch waits for a
+	// free replica. 0 defaults to 1.
+	Replicas int
+	// Service prices a batch forward pass in virtual ticks.
+	Service ServiceModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch %d, want >= 1", c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("serve: negative MaxDelay %d", c.MaxDelay)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("serve: negative QueueCap %d", c.QueueCap)
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("serve: Replicas %d, want >= 1", c.Replicas)
+	}
+	if c.Service.Base < 0 || c.Service.PerImage < 0 {
+		return fmt.Errorf("serve: negative service model %+v", c.Service)
+	}
+	return nil
+}
+
+// Request is one single-image inference request: Image indexes a row of the
+// image set the pool serves, Arrive is its arrival time on the virtual
+// clock.
+type Request struct {
+	Image  int
+	Arrive Ticks
+}
+
+// FlushCause records which trigger closed a batch.
+type FlushCause uint8
+
+// Flush triggers.
+const (
+	// SizeFlush: the batch reached Config.MaxBatch.
+	SizeFlush FlushCause = iota
+	// DeadlineFlush: the oldest member waited Config.MaxDelay.
+	DeadlineFlush
+)
+
+// String implements fmt.Stringer.
+func (c FlushCause) String() string {
+	if c == SizeFlush {
+		return "size"
+	}
+	return "deadline"
+}
+
+// Batch is one dispatched batch: which requests it carried and its
+// flush/start/completion times on the virtual clock.
+type Batch struct {
+	// Members are request indices into the trace, in arrival order.
+	Members []int
+	// Replica executed the batch.
+	Replica int
+	// Flush is when the batcher closed the batch; Start is when a replica
+	// picked it up (equal to Flush unless every replica was busy); Done is
+	// Start plus the service time.
+	Flush, Start, Done Ticks
+	Cause              FlushCause
+}
+
+// Outcome is the per-request result of a run.
+type Outcome struct {
+	// Err is ErrOverloaded for rejected requests, nil otherwise.
+	Err error
+	// Batch indexes Report.Batches (-1 when rejected).
+	Batch int
+	// Latency is completion minus arrival on the virtual clock (0 when
+	// rejected).
+	Latency Ticks
+}
+
+// Report is the full outcome of one scheduler run.
+type Report struct {
+	Config   Config
+	Stats    Stats
+	Batches  []Batch
+	Outcomes []Outcome
+}
+
+// Event kinds, in same-tick processing order: completions free replicas
+// first, then arrivals join the forming batch, then deadline checks fire —
+// so a request arriving exactly at the deadline instant still makes the
+// flushing batch, and a replica freed at a flush instant takes the batch
+// immediately.
+const (
+	evCompletion = iota
+	evArrival
+	evDeadline
+)
+
+type event struct {
+	at   Ticks
+	kind int
+	seq  int // FIFO tie-break within (at, kind)
+	// request index for arrivals; the head request a deadline guards; the
+	// replica id for completions.
+	arg int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate runs the scheduler over the trace on the virtual clock and
+// returns the full report: per-request outcomes, per-batch records and the
+// exact counters. It is a pure function of (cfg, trace) — no wall clock, no
+// goroutines — so repeated runs are bit-identical; with an unbounded queue
+// batch formation never consults the replica pool, so batch compositions
+// (hence the histogram and flush counters) are identical across replica
+// counts too, and latencies match across replica counts whenever capacity
+// keeps dispatch immediate. Under admission control (QueueCap > 0) the
+// pool size feeds back into who is admitted — a faster-draining pool
+// rejects less — which is the behavior a bounded waiting room should have.
+func Simulate(cfg Config, trace Trace) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(trace.Requests); i++ {
+		if trace.Requests[i].Arrive < trace.Requests[i-1].Arrive {
+			return nil, fmt.Errorf("serve: trace %q not sorted at request %d", trace.Name, i)
+		}
+	}
+
+	rep := &Report{Config: cfg, Outcomes: make([]Outcome, len(trace.Requests))}
+	st := &rep.Stats
+	st.Hist = make([]int64, cfg.MaxBatch+1)
+	st.Offered = int64(len(trace.Requests))
+
+	var events eventHeap
+	seq := 0
+	push := func(at Ticks, kind, arg int) {
+		heap.Push(&events, event{at: at, kind: kind, seq: seq, arg: arg})
+		seq++
+	}
+	for i, r := range trace.Requests {
+		if r.Arrive < 0 {
+			return nil, fmt.Errorf("serve: trace %q request %d arrives at negative tick %d", trace.Name, i, r.Arrive)
+		}
+		push(r.Arrive, evArrival, i)
+	}
+
+	var (
+		pending   []int // the forming batch: request indices in arrival order
+		dispatch  []int // flushed batches (indices into rep.Batches) awaiting a replica
+		freeMask  = make([]bool, cfg.Replicas)
+		freeCount = cfg.Replicas
+		waiting   = 0 // requests in pending + in undispatched batches
+	)
+	for i := range freeMask {
+		freeMask[i] = true
+	}
+	takeReplica := func() int { // lowest free id, deterministic
+		for i, free := range freeMask {
+			if free {
+				freeMask[i] = false
+				freeCount--
+				return i
+			}
+		}
+		panic("serve: takeReplica with none free")
+	}
+
+	tryDispatch := func(now Ticks) {
+		for len(dispatch) > 0 && freeCount > 0 {
+			bi := dispatch[0]
+			dispatch = dispatch[1:]
+			b := &rep.Batches[bi]
+			b.Replica = takeReplica()
+			b.Start = now
+			svc := cfg.Service.BatchTicks(len(b.Members))
+			b.Done = now + svc
+			st.BusyTicks += svc
+			waiting -= len(b.Members)
+			push(b.Done, evCompletion, bi)
+		}
+	}
+	flush := func(now Ticks, cause FlushCause) {
+		members := pending
+		pending = nil
+		st.Batches++
+		st.Hist[len(members)]++
+		if cause == SizeFlush {
+			st.SizeFlushes++
+		} else {
+			st.DeadlineFlushes++
+		}
+		bi := len(rep.Batches)
+		rep.Batches = append(rep.Batches, Batch{Members: members, Flush: now, Cause: cause})
+		for _, r := range members {
+			rep.Outcomes[r].Batch = bi
+		}
+		dispatch = append(dispatch, bi)
+		tryDispatch(now)
+	}
+
+	latencies := make([]Ticks, 0, len(trace.Requests))
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		switch e.kind {
+		case evCompletion:
+			b := &rep.Batches[e.arg]
+			freeMask[b.Replica] = true
+			freeCount++
+			for _, r := range b.Members {
+				lat := b.Done - trace.Requests[r].Arrive
+				rep.Outcomes[r].Latency = lat
+				latencies = append(latencies, lat)
+				st.SumLatency += lat
+				st.Completed++
+			}
+			if b.Done > st.Makespan {
+				st.Makespan = b.Done
+			}
+			tryDispatch(e.at)
+		case evArrival:
+			if cfg.QueueCap > 0 && waiting >= cfg.QueueCap {
+				rep.Outcomes[e.arg] = Outcome{Err: ErrOverloaded, Batch: -1}
+				st.Rejected++
+				continue
+			}
+			st.Accepted++
+			pending = append(pending, e.arg)
+			waiting++
+			if waiting > st.QueueHWM {
+				st.QueueHWM = waiting
+			}
+			if len(pending) == 1 {
+				// New head: its deadline bounds the whole batch's wait.
+				push(e.at+cfg.MaxDelay, evDeadline, e.arg)
+			}
+			if len(pending) == cfg.MaxBatch {
+				flush(e.at, SizeFlush)
+			}
+		case evDeadline:
+			// Stale guard: a size flush may have closed the batch this
+			// deadline was scheduled for; only fire if its request still
+			// heads the forming batch.
+			if len(pending) > 0 && pending[0] == e.arg {
+				flush(e.at, DeadlineFlush)
+			}
+		}
+	}
+	st.FillPercentiles(latencies)
+	return rep, nil
+}
+
+// FillPercentiles computes the exact nearest-rank latency percentiles
+// (P50/P95/P99/MaxLatency) over the per-request latencies. Exported so the
+// analytic twin in comm applies the identical percentile definition to its
+// closed-form latency list; latencies may arrive in any order.
+func (s *Stats) FillPercentiles(latencies []Ticks) {
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	s.P50 = nearestRank(latencies, 0.50)
+	s.P95 = nearestRank(latencies, 0.95)
+	s.P99 = nearestRank(latencies, 0.99)
+	s.MaxLatency = latencies[len(latencies)-1]
+}
+
+// nearestRank returns the q-th percentile of sorted (ascending) values
+// using the nearest-rank definition: the ⌈q·n⌉-th smallest value.
+func nearestRank(sorted []Ticks, q float64) Ticks {
+	idx := int(float64(len(sorted))*q+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

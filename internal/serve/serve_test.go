@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustSimulate(t *testing.T, cfg Config, trace Trace) *Report {
+	t.Helper()
+	rep, err := Simulate(cfg, trace)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return rep
+}
+
+// A run is a pure function of (Config, Trace): repeated runs are
+// bit-identical, counters, percentiles, batches and all.
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: 500, Replicas: 2,
+		Service: ServiceModel{Base: 100, PerImage: 30}}
+	trace := PoissonTrace(400, 120, 10, 42)
+	a := mustSimulate(t, cfg, trace)
+	b := mustSimulate(t, cfg, trace)
+	if !a.Stats.Equal(b.Stats) {
+		t.Fatalf("repeated runs diverge:\n%s", a.Stats.Diff(b.Stats))
+	}
+	if len(a.Batches) != len(b.Batches) {
+		t.Fatalf("batch counts diverge: %d vs %d", len(a.Batches), len(b.Batches))
+	}
+	for i := range a.Batches {
+		ba, bb := a.Batches[i], b.Batches[i]
+		if ba.Flush != bb.Flush || ba.Start != bb.Start || ba.Done != bb.Done ||
+			ba.Replica != bb.Replica || ba.Cause != bb.Cause || len(ba.Members) != len(bb.Members) {
+			t.Fatalf("batch %d diverges: %+v vs %+v", i, ba, bb)
+		}
+	}
+}
+
+// Batch formation never consults the replica pool, so compositions and the
+// histogram are replica-invariant; under sufficient capacity dispatch is
+// immediate on every pool size, so the full Stats (percentiles included)
+// match across replica counts.
+func TestReplicaCountInvariance(t *testing.T) {
+	base := Config{MaxBatch: 4, MaxDelay: 300, Replicas: 1,
+		Service: ServiceModel{Base: 50, PerImage: 25}} // S(4)=150 <= 1*4*100
+	trace := UniformTrace(200, 100, 10)
+	ref := mustSimulate(t, base, trace)
+	for _, r := range []int{2, 3, 5} {
+		cfg := base
+		cfg.Replicas = r
+		got := mustSimulate(t, cfg, trace)
+		if !got.Stats.Equal(ref.Stats) {
+			t.Fatalf("replicas=%d stats diverge from replicas=1:\n%s", r, got.Stats.Diff(ref.Stats))
+		}
+	}
+	// Even when one replica is saturated and batches queue for dispatch,
+	// the histogram and flush counters stay invariant.
+	slow := base
+	slow.Service = ServiceModel{Base: 300, PerImage: 200} // S(4)=1100 > 400
+	one := mustSimulate(t, slow, trace)
+	slow.Replicas = 4
+	many := mustSimulate(t, slow, trace)
+	if one.Stats.Batches != many.Stats.Batches ||
+		one.Stats.SizeFlushes != many.Stats.SizeFlushes ||
+		one.Stats.DeadlineFlushes != many.Stats.DeadlineFlushes {
+		t.Fatalf("flush counters not replica-invariant under overload: %+v vs %+v", one.Stats, many.Stats)
+	}
+	for i := range one.Stats.Hist {
+		if one.Stats.Hist[i] != many.Stats.Hist[i] {
+			t.Fatalf("Hist[%d] not replica-invariant: %d vs %d", i, one.Stats.Hist[i], many.Stats.Hist[i])
+		}
+	}
+	if one.Stats.Makespan <= many.Stats.Makespan {
+		t.Fatalf("saturated single replica should finish later: %d vs %d", one.Stats.Makespan, many.Stats.Makespan)
+	}
+}
+
+// Handcrafted size-flush run, every counter checked against hand-derived
+// values: 6 requests at gap 10, MaxBatch 4, generous deadline. Batches:
+// [0..3] size-flushed at t=30, [4,5] deadline-flushed at t=40+200.
+func TestExactCountersSizeThenDeadline(t *testing.T) {
+	cfg := Config{MaxBatch: 4, MaxDelay: 200, Replicas: 1,
+		Service: ServiceModel{Base: 100, PerImage: 10}}
+	trace := UniformTrace(6, 10, 1)
+	rep := mustSimulate(t, cfg, trace)
+	s := rep.Stats
+
+	if s.Offered != 6 || s.Accepted != 6 || s.Rejected != 0 || s.Completed != 6 {
+		t.Fatalf("request counters: %+v", s)
+	}
+	if s.Batches != 2 || s.SizeFlushes != 1 || s.DeadlineFlushes != 1 {
+		t.Fatalf("flush counters: %+v", s)
+	}
+	if s.Hist[4] != 1 || s.Hist[2] != 1 {
+		t.Fatalf("histogram: %v", s.Hist)
+	}
+	if s.QueueHWM != 4 {
+		t.Fatalf("QueueHWM = %d, want 4", s.QueueHWM)
+	}
+	b0, b1 := rep.Batches[0], rep.Batches[1]
+	if b0.Flush != 30 || b0.Cause != SizeFlush || b0.Start != 30 || b0.Done != 30+140 {
+		t.Fatalf("batch 0: %+v", b0)
+	}
+	// Head of batch 1 arrives at t=40; deadline fires at 240.
+	if b1.Flush != 240 || b1.Cause != DeadlineFlush || b1.Start != 240 || b1.Done != 240+120 {
+		t.Fatalf("batch 1: %+v", b1)
+	}
+	// Latencies: batch 0 done 170 minus arrivals 0,10,20,30; batch 1 done
+	// 360 minus arrivals 40,50.
+	want := []Ticks{170, 160, 150, 140, 320, 310}
+	for i, o := range rep.Outcomes {
+		if o.Err != nil || o.Latency != want[i] {
+			t.Fatalf("outcome %d = %+v, want latency %d", i, o, want[i])
+		}
+	}
+	if s.BusyTicks != 140+120 || s.Makespan != 360 {
+		t.Fatalf("busy/makespan: %+v", s)
+	}
+	if s.MaxLatency != 320 || s.P99 != 320 || s.P50 != 160 {
+		t.Fatalf("percentiles: %+v", s)
+	}
+}
+
+// MaxDelay 0 flushes every request in its own batch at its arrival tick.
+func TestZeroDelayImmediateFlush(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: 0, Replicas: 3,
+		Service: ServiceModel{Base: 10, PerImage: 5}}
+	trace := UniformTrace(9, 100, 3)
+	rep := mustSimulate(t, cfg, trace)
+	if rep.Stats.Batches != 9 || rep.Stats.Hist[1] != 9 {
+		t.Fatalf("want 9 singleton batches: %+v", rep.Stats)
+	}
+	for _, b := range rep.Batches {
+		if b.Flush != trace.Requests[b.Members[0]].Arrive {
+			t.Fatalf("batch flushed late: %+v", b)
+		}
+	}
+	if rep.Stats.P99 != 15 || rep.Stats.P50 != 15 {
+		t.Fatalf("all latencies should be S(1)=15: %+v", rep.Stats)
+	}
+}
+
+// Bounded queue: a same-tick burst beyond QueueCap is rejected with the
+// typed error; accepted+rejected == offered; rejected requests carry
+// Batch=-1 and appear nowhere in any batch.
+func TestAdmissionControl(t *testing.T) {
+	cfg := Config{MaxBatch: 16, MaxDelay: 1000, QueueCap: 5, Replicas: 1,
+		Service: ServiceModel{Base: 100, PerImage: 10}}
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		reqs[i] = Request{Image: 0, Arrive: 0} // all at once
+	}
+	rep := mustSimulate(t, cfg, Trace{Name: "burst", Requests: reqs})
+	s := rep.Stats
+	if s.Accepted != 5 || s.Rejected != 7 || s.Accepted+s.Rejected != s.Offered {
+		t.Fatalf("admission counters: %+v", s)
+	}
+	seen := 0
+	for _, b := range rep.Batches {
+		seen += len(b.Members)
+	}
+	if seen != 5 {
+		t.Fatalf("batched %d members, want 5", seen)
+	}
+	for i, o := range rep.Outcomes {
+		if o.Err != nil {
+			if !errors.Is(o.Err, ErrOverloaded) {
+				t.Fatalf("outcome %d error %v, want ErrOverloaded", i, o.Err)
+			}
+			if o.Batch != -1 {
+				t.Fatalf("rejected outcome %d has batch %d", i, o.Batch)
+			}
+		}
+	}
+}
+
+// The deadline trigger bounds every accepted request's batching wait at
+// MaxDelay, on stochastic traces too.
+func TestFlushWithinMaxDelay(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: 250, Replicas: 2,
+		Service: ServiceModel{Base: 80, PerImage: 20}}
+	for _, trace := range []Trace{
+		PoissonTrace(500, 60, 7, 1),
+		BurstyTrace(500, 20, 15, 2000, 7, 2),
+	} {
+		rep := mustSimulate(t, cfg, trace)
+		for _, b := range rep.Batches {
+			for _, r := range b.Members {
+				if wait := b.Flush - trace.Requests[r].Arrive; wait > cfg.MaxDelay {
+					t.Fatalf("%s: request %d waited %d > MaxDelay %d", trace.Name, r, wait, cfg.MaxDelay)
+				}
+			}
+			if len(b.Members) > cfg.MaxBatch {
+				t.Fatalf("%s: batch of %d > MaxBatch %d", trace.Name, len(b.Members), cfg.MaxBatch)
+			}
+		}
+	}
+}
+
+// Trace generators are pure functions of their seed.
+func TestTraceDeterminism(t *testing.T) {
+	a := PoissonTrace(100, 50, 4, 9)
+	b := PoissonTrace(100, 50, 4, 9)
+	c := PoissonTrace(100, 50, 4, 10)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different lengths")
+	}
+	same := true
+	diff := false
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			same = false
+		}
+		if a.Requests[i] != c.Requests[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different traces")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical traces")
+	}
+	bu := BurstyTrace(100, 10, 20, 1500, 4, 9)
+	bv := BurstyTrace(100, 10, 20, 1500, 4, 9)
+	for i := range bu.Requests {
+		if bu.Requests[i] != bv.Requests[i] {
+			t.Fatal("bursty trace not deterministic")
+		}
+	}
+}
+
+// Bursty idle periods strand partial batches on the deadline trigger.
+func TestBurstyDeadlineFlushes(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: 300, Replicas: 2,
+		Service: ServiceModel{Base: 50, PerImage: 10}}
+	trace := BurstyTrace(300, 13, 10, 5000, 5, 3) // bursts of 13 don't divide by 8
+	rep := mustSimulate(t, cfg, trace)
+	if rep.Stats.DeadlineFlushes == 0 {
+		t.Fatal("bursty trace produced no deadline flushes")
+	}
+	if rep.Stats.SizeFlushes == 0 {
+		t.Fatal("bursty trace produced no size flushes")
+	}
+}
+
+// Config validation rejects nonsense.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MaxBatch: 0},
+		{MaxBatch: 4, MaxDelay: -1},
+		{MaxBatch: 4, QueueCap: -2},
+		{MaxBatch: 4, Replicas: -1},
+		{MaxBatch: 4, Service: ServiceModel{Base: -5}},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg, UniformTrace(1, 1, 1)); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Simulate(Config{MaxBatch: 1}, Trace{Requests: []Request{{Arrive: 10}, {Arrive: 5}}}); err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+}

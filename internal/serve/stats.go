@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats holds the exact counters of one scheduler run. Every field is
+// integral arithmetic over the virtual clock, so two runs of the same
+// (Config, Trace) produce byte-identical Stats; this is what the
+// closed-form twin in comm.ExpectedServeStats matches counter-for-counter
+// in the deterministic-clock regime.
+type Stats struct {
+	// Offered = Accepted + Rejected; Completed counts requests whose batch
+	// finished (== Accepted once the run drains).
+	Offered, Accepted, Rejected, Completed int64
+	// Batches dispatched, split by flush trigger.
+	Batches, SizeFlushes, DeadlineFlushes int64
+	// Hist[k] counts batches of size k (len MaxBatch+1; Hist[0] unused).
+	Hist []int64
+	// QueueHWM is the high-water mark of requests waiting (forming batch
+	// plus flushed-but-undispatched batches).
+	QueueHWM int
+	// BusyTicks is total replica service time; Makespan the completion time
+	// of the last batch.
+	BusyTicks, Makespan Ticks
+	// SumLatency accumulates per-request latency (arrival to batch
+	// completion); P50/P95/P99 are exact nearest-rank percentiles over the
+	// same per-request latencies, MaxLatency the worst case.
+	SumLatency                Ticks
+	P50, P95, P99, MaxLatency Ticks
+}
+
+// MeanBatch is the mean dispatched batch size.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Batches)
+}
+
+// MeanLatency is the mean per-request latency in ticks.
+func (s Stats) MeanLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.SumLatency) / float64(s.Completed)
+}
+
+// Throughput is completed requests per second of makespan (1 tick = 1µs).
+func (s Stats) Throughput() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.Completed) / (float64(s.Makespan) / TicksPerSecond)
+}
+
+// Equal reports whether every counter, percentile and histogram bucket
+// matches exactly — the cross-check the analytic twin is held to.
+func (s Stats) Equal(o Stats) bool {
+	if s.Offered != o.Offered || s.Accepted != o.Accepted ||
+		s.Rejected != o.Rejected || s.Completed != o.Completed ||
+		s.Batches != o.Batches || s.SizeFlushes != o.SizeFlushes ||
+		s.DeadlineFlushes != o.DeadlineFlushes ||
+		s.QueueHWM != o.QueueHWM ||
+		s.BusyTicks != o.BusyTicks || s.Makespan != o.Makespan ||
+		s.SumLatency != o.SumLatency ||
+		s.P50 != o.P50 || s.P95 != o.P95 || s.P99 != o.P99 ||
+		s.MaxLatency != o.MaxLatency {
+		return false
+	}
+	if len(s.Hist) != len(o.Hist) {
+		return false
+	}
+	for i := range s.Hist {
+		if s.Hist[i] != o.Hist[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable list of mismatching fields against o, empty
+// when Equal. Tests and the drift-checked study use it to say *which*
+// counter the analytic twin missed.
+func (s Stats) Diff(o Stats) string {
+	var b strings.Builder
+	line := func(name string, got, want any) {
+		fmt.Fprintf(&b, "%s: measured %v, model %v\n", name, got, want)
+	}
+	if s.Offered != o.Offered {
+		line("Offered", s.Offered, o.Offered)
+	}
+	if s.Accepted != o.Accepted {
+		line("Accepted", s.Accepted, o.Accepted)
+	}
+	if s.Rejected != o.Rejected {
+		line("Rejected", s.Rejected, o.Rejected)
+	}
+	if s.Completed != o.Completed {
+		line("Completed", s.Completed, o.Completed)
+	}
+	if s.Batches != o.Batches {
+		line("Batches", s.Batches, o.Batches)
+	}
+	if s.SizeFlushes != o.SizeFlushes {
+		line("SizeFlushes", s.SizeFlushes, o.SizeFlushes)
+	}
+	if s.DeadlineFlushes != o.DeadlineFlushes {
+		line("DeadlineFlushes", s.DeadlineFlushes, o.DeadlineFlushes)
+	}
+	if s.QueueHWM != o.QueueHWM {
+		line("QueueHWM", s.QueueHWM, o.QueueHWM)
+	}
+	if s.BusyTicks != o.BusyTicks {
+		line("BusyTicks", s.BusyTicks, o.BusyTicks)
+	}
+	if s.Makespan != o.Makespan {
+		line("Makespan", s.Makespan, o.Makespan)
+	}
+	if s.SumLatency != o.SumLatency {
+		line("SumLatency", s.SumLatency, o.SumLatency)
+	}
+	if s.P50 != o.P50 {
+		line("P50", s.P50, o.P50)
+	}
+	if s.P95 != o.P95 {
+		line("P95", s.P95, o.P95)
+	}
+	if s.P99 != o.P99 {
+		line("P99", s.P99, o.P99)
+	}
+	if s.MaxLatency != o.MaxLatency {
+		line("MaxLatency", s.MaxLatency, o.MaxLatency)
+	}
+	for i := 0; i < len(s.Hist) || i < len(o.Hist); i++ {
+		var a, c int64
+		if i < len(s.Hist) {
+			a = s.Hist[i]
+		}
+		if i < len(o.Hist) {
+			c = o.Hist[i]
+		}
+		if a != c {
+			line(fmt.Sprintf("Hist[%d]", i), a, c)
+		}
+	}
+	return b.String()
+}
+
+// String renders the stats table cmd/serve prints.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests     offered %d  accepted %d  rejected %d  completed %d\n",
+		s.Offered, s.Accepted, s.Rejected, s.Completed)
+	fmt.Fprintf(&b, "batches      %d (size-flush %d, deadline-flush %d)  mean size %.2f\n",
+		s.Batches, s.SizeFlushes, s.DeadlineFlushes, s.MeanBatch())
+	fmt.Fprintf(&b, "queue        high-water mark %d\n", s.QueueHWM)
+	fmt.Fprintf(&b, "latency µs   mean %.1f  p50 %d  p95 %d  p99 %d  max %d\n",
+		s.MeanLatency(), s.P50, s.P95, s.P99, s.MaxLatency)
+	fmt.Fprintf(&b, "throughput   %.0f req/s over makespan %d µs (busy %d µs)\n",
+		s.Throughput(), s.Makespan, s.BusyTicks)
+	fmt.Fprintf(&b, "histogram    %s\n", histString(s.Hist))
+	return b.String()
+}
+
+func histString(hist []int64) string {
+	var parts []string
+	for size, n := range hist {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d×b%d", n, size))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Trace is a named arrival sequence: requests sorted by arrival tick, each
+// naming the image it wants classified. Traces are pure functions of their
+// generator parameters and seed, so a (Config, Trace) pair replays
+// bit-identically anywhere.
+type Trace struct {
+	Name     string
+	Requests []Request
+}
+
+// Rate returns the mean offered load in requests per second over the
+// trace's span (1 tick = 1µs).
+func (t Trace) Rate() float64 {
+	if len(t.Requests) < 2 {
+		return 0
+	}
+	span := t.Requests[len(t.Requests)-1].Arrive - t.Requests[0].Arrive
+	if span == 0 {
+		return 0
+	}
+	return float64(len(t.Requests)-1) / (float64(span) / TicksPerSecond)
+}
+
+// UniformTrace is the deterministic-clock trace: n requests with a fixed
+// inter-arrival gap, request i arriving at tick i·gap wanting image i mod
+// images (images <= 0 means image 0 for all). This is the regime the
+// closed forms in comm.ExpectedServeStats price exactly.
+func UniformTrace(n int, gap Ticks, images int) Trace {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Image: imageFor(i, images), Arrive: Ticks(i) * gap}
+	}
+	return Trace{Name: "uniform", Requests: reqs}
+}
+
+// PoissonTrace is open-loop Poisson traffic: n requests with exponential
+// inter-arrival gaps of the given mean, quantized to whole ticks, seeded so
+// the trace is bit-reproducible.
+func PoissonTrace(n int, meanGap Ticks, images int, seed uint64) Trace {
+	r := rng.New(seed)
+	reqs := make([]Request, n)
+	var t Ticks
+	for i := range reqs {
+		reqs[i] = Request{Image: imageFor(i, images), Arrive: t}
+		t += expGap(r, meanGap)
+	}
+	return Trace{Name: "poisson", Requests: reqs}
+}
+
+// BurstyTrace is on/off traffic: alternating bursts of onLen requests with
+// exponential gaps of mean onGap, separated by idle periods of offGap
+// ticks. It stresses the deadline trigger (bursts fill batches, idle tails
+// strand partial ones) and, with a bounded queue, the admission control.
+func BurstyTrace(n, onLen int, onGap, offGap Ticks, images int, seed uint64) Trace {
+	if onLen < 1 {
+		onLen = 1
+	}
+	r := rng.New(seed)
+	reqs := make([]Request, n)
+	var t Ticks
+	for i := range reqs {
+		reqs[i] = Request{Image: imageFor(i, images), Arrive: t}
+		if (i+1)%onLen == 0 {
+			t += offGap
+		} else {
+			t += expGap(r, onGap)
+		}
+	}
+	return Trace{Name: "bursty", Requests: reqs}
+}
+
+func imageFor(i, images int) int {
+	if images <= 0 {
+		return 0
+	}
+	return i % images
+}
+
+// expGap draws an exponential inter-arrival gap with the given mean,
+// quantized to whole ticks, never below 1 so arrivals stay strictly
+// ordered in time on average-one-per-tick loads.
+func expGap(r *rng.Rand, mean Ticks) Ticks {
+	// Inverse-CDF sampling; Float64 is in [0,1), so 1-u is in (0,1].
+	u := 1 - r.Float64()
+	g := Ticks(-float64(mean) * math.Log(u))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

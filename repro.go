@@ -55,6 +55,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -127,6 +128,10 @@ func AlexNetBNSpec() *ModelSpec { return models.AlexNetBNSpec() }
 
 // ResNet50Spec returns ResNet-50 (25.6M params, 7.7 GFLOPs/image).
 func ResNet50Spec() *ModelSpec { return models.ResNet50Spec() }
+
+// MicroAlexNetSpec returns the cost-accounting spec of the micro AlexNet
+// built by MicroAlexNetFactory with the same config.
+func MicroAlexNetSpec(cfg MicroConfig) *ModelSpec { return models.MicroAlexNetSpec(cfg) }
 
 // MicroAlexNetFactory returns a model factory for core.Config.Model that
 // builds micro-AlexNet replicas seeded per worker.
@@ -419,3 +424,69 @@ type (
 
 // NewLoader starts a prefetching batch loader over ds.
 func NewLoader(ds *Dataset, cfg LoaderConfig) *Loader { return data.NewLoader(ds, cfg) }
+
+// Serving tier: the dynamic-batching inference engine over a replica fleet.
+type (
+	// ServeConfig is one serving configuration (batch window, queue bound,
+	// replica pool, service pricing).
+	ServeConfig = serve.Config
+	// ServeStats holds the exact counters of one scheduler run.
+	ServeStats = serve.Stats
+	// ServeTrace is a seeded arrival sequence.
+	ServeTrace = serve.Trace
+	// ServeReport is the full outcome of one scheduler run.
+	ServeReport = serve.Report
+	// ServePool couples the scheduler to real model replicas.
+	ServePool = serve.Pool
+	// ServiceModel prices one batch forward pass in virtual ticks.
+	ServiceModel = serve.ServiceModel
+	// Ticks is virtual time (1 tick = 1µs).
+	Ticks = serve.Ticks
+	// ServeEstimate is a closed-form fleet-sizing answer.
+	ServeEstimate = cluster.ServeEstimate
+)
+
+// ErrOverloaded is the serving tier's typed admission-control rejection.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ServeSimulate runs the dynamic batcher over a trace on the virtual clock.
+func ServeSimulate(cfg ServeConfig, trace ServeTrace) (*ServeReport, error) {
+	return serve.Simulate(cfg, trace)
+}
+
+// UniformServeTrace generates the deterministic-clock trace (fixed gap).
+func UniformServeTrace(n int, gap Ticks, images int) ServeTrace {
+	return serve.UniformTrace(n, gap, images)
+}
+
+// PoissonServeTrace generates seeded open-loop Poisson traffic.
+func PoissonServeTrace(n int, meanGap Ticks, images int, seed uint64) ServeTrace {
+	return serve.PoissonTrace(n, meanGap, images, seed)
+}
+
+// BurstyServeTrace generates seeded on/off traffic.
+func BurstyServeTrace(n, onLen int, onGap, offGap Ticks, images int, seed uint64) ServeTrace {
+	return serve.BurstyTrace(n, onLen, onGap, offGap, images, seed)
+}
+
+// NewServePool builds a replica pool; PoolFromCheckpoint loads trained
+// weights into every replica.
+func NewServePool(cfg ServeConfig, factory func() *Network) (*ServePool, error) {
+	return serve.NewPool(cfg, factory)
+}
+
+// ServePoolFromCheckpoint builds the pool from a training checkpoint — the
+// train→serve artifact handoff.
+func ServePoolFromCheckpoint(cfg ServeConfig, factory func() *Network, c *Checkpoint) (*ServePool, error) {
+	return serve.PoolFromCheckpoint(cfg, factory, c)
+}
+
+// ExpectedServeStats prices the uniform-gap regime counter-for-counter.
+func ExpectedServeStats(cfg ServeConfig, n int, gap Ticks) (ServeStats, error) {
+	return comm.ExpectedServeStats(cfg, n, gap)
+}
+
+// SimulateServe sizes a replica fleet for an offered rate and p99 target.
+func SimulateServe(m Machine, spec *ModelSpec, ratePerSec float64, maxBatch int, maxDelay, p99Target Ticks) (ServeEstimate, error) {
+	return cluster.SimulateServe(m, spec, ratePerSec, maxBatch, maxDelay, p99Target)
+}
