@@ -155,7 +155,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 // dist engine on this machine (bounded by GOMAXPROCS).
 func BenchmarkAblationWorkers(b *testing.B) {
 	ds := ablationDataset()
-	x, labels := ds.Train.Gather(seqInts(256))
+	x, labels := ds.Train.MustGather(seqInts(256))
 	for _, workers := range []int{1, 2} {
 		b.Run(map[int]string{1: "P1", 2: "P2"}[workers], func(b *testing.B) {
 			replicas := make([]*nn.Network, workers)
@@ -205,7 +205,7 @@ func BenchmarkConvForward(b *testing.B) {
 // backward, allreduce, LARS update, broadcast) at batch 64 over 2 workers.
 func BenchmarkTrainStep(b *testing.B) {
 	ds := ablationDataset()
-	x, labels := ds.Train.Gather(seqInts(64))
+	x, labels := ds.Train.MustGather(seqInts(64))
 	replicas := []*nn.Network{ablationFactory()(1), ablationFactory()(2)}
 	e := dist.NewEngine(dist.Config{Algo: dist.Ring}, replicas)
 	defer e.Close()

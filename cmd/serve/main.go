@@ -210,7 +210,7 @@ func runPool(cfg serve.Config, trace serve.Trace, modelName string, width, class
 	for i := range idx {
 		idx[i] = i
 	}
-	images, _ := synth.Test.Gather(idx)
+	images, _ := synth.Test.MustGather(idx)
 
 	// Requests index images modulo the set; rewrite out-of-range ids.
 	for i := range trace.Requests {

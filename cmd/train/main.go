@@ -73,6 +73,25 @@
 // bit-identity contract across -workers, topologies and -overlap for a
 // pinned -shards split; it differs from the f32 trajectory by construction.
 //
+// # Progressive resolution (the ENTR curriculum)
+//
+// -resolutions trains under a per-epoch input-resolution schedule — the
+// progressive-resolution curriculum: early epochs see small (cheap) inputs,
+// later epochs the full size. The syntax is comma-separated phases of
+// "HxW@epochs" with inclusive epoch ranges: "12x12@0-4,24x24@5+" trains
+// epochs 0–4 at 12x12 and every epoch from 5 on at 24x24 (a bare "HxW"
+// pins the whole run). Batches are resized at materialization with the
+// deterministic area/bilinear kernel (area when shrinking, bilinear when
+// growing); shard assignments and the engine schedule are untouched, and
+// every replica derives the epoch's resolution from the same schedule, so
+// the trajectory keeps the bit-identity contract across -workers,
+// topologies and -overlap for a pinned -shards split. Evaluation always
+// runs at the native -image-size. The schedule needs a model whose weight
+// count does not depend on the input size — a GAP-headed net (micro-convnet
+// or micro-resnet); micro-alexnet and mlp bake the canonical H×W into their
+// classifier and are rejected. The per-epoch report gains a res column, and
+// cluster.SimulateProgressive prices the same schedule analytically.
+//
 // # Elastic membership (preemptible fleets)
 //
 // -fault-dead kills workers permanently: "3@40" makes worker 3 answer
@@ -139,6 +158,15 @@
 //	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
 //	      -warmup 2 -workers 4 -shards 4 -algo ring \
 //	      -precision f16 -profile
+//
+// The ENTR curriculum on the GAP-headed conv net: the first five epochs
+// train at 4/9-area 16x16 inputs (~2.25x fewer FLOPs per image per conv
+// layer), the rest at the native 24x24 — same epoch budget, less wall
+// time, and still bit-identical for any -workers at this -shards split:
+//
+//	train -model micro-convnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -shards 4 -algo ring \
+//	      -resolutions 16x16@0-4,24x24@5+
 package main
 
 import (
@@ -162,39 +190,40 @@ func main() {
 	log.SetPrefix("train: ")
 
 	var (
-		modelName  = flag.String("model", "micro-alexnet", "model: micro-alexnet | micro-alexnet-lrn | micro-resnet | mlp")
-		batch      = flag.Int("batch", 32, "global batch size")
-		epochs     = flag.Int("epochs", 15, "fixed epoch budget")
-		method     = flag.String("method", "lars", "recipe: sgd | linear | lars")
-		baseLR     = flag.Float64("base-lr", 0.05, "learning rate at the base batch")
-		baseBatch  = flag.Int("base-batch", 32, "reference batch for linear scaling")
-		warmup     = flag.Float64("warmup", 2, "warmup epochs (linear/lars)")
-		trust      = flag.Float64("trust", 0.01, "LARS trust coefficient")
-		wd         = flag.Float64("wd", 0.0005, "weight decay")
-		workers    = flag.Int("workers", 2, "data-parallel workers")
-		algo       = flag.String("algo", "ring", "allreduce topology: central | tree | ring (cross-node tier when -per-node is set)")
-		perNode    = flag.Int("per-node", 0, "workers per node for the two-tier hierarchical allreduce (0 = flat; must divide -workers)")
-		intraAlgo  = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
-		shards     = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
-		bucket     = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
-		overlap    = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
-		reduction  = flag.String("reduction", "canonical", "gradient reduction arithmetic: canonical (f64 canonical order) | pairwise (fixed-tree f32 kernel)")
-		profile    = flag.Bool("profile", false, "profile the hot loop per step and report gemm/im2col/convert/reduce/codec/other wall-time shares")
-		precision  = flag.String("precision", "f32", "compute precision: f32 | f16 (binary16 GEMM operands, float32 accumulation and masters)")
-		lossScale  = flag.Float64("loss-scale", 0, "initial dynamic loss scale under -precision f16 (0 = 2^16; rounded to a power of two)")
-		codec      = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
-		dropRate   = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
-		stallRate  = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
-		faultDead  = flag.String("fault-dead", "", "permanently kill workers: \"w@step\" pairs, comma-separated (e.g. \"3@40,2@60\")")
-		elastic    = flag.Bool("elastic", false, "evict persistently dead workers and continue on the survivors (elastic membership)")
-		evictAfter = flag.Int("evict-after", 0, "consecutive failed recoveries before eviction (0 = default 3; needs -elastic)")
-		width      = flag.Int("width", 8, "model base width")
-		augment    = flag.Bool("augment", false, "enable weak data augmentation")
-		seed       = flag.Uint64("seed", 1, "experiment seed")
-		trainSize  = flag.Int("train-size", 4096, "synthetic training set size")
-		classes    = flag.Int("classes", 8, "synthetic class count")
-		imageSize  = flag.Int("image-size", 24, "synthetic image height/width")
-		quiet      = flag.Bool("quiet", false, "print only the final summary line")
+		modelName   = flag.String("model", "micro-alexnet", "model: micro-alexnet | micro-alexnet-lrn | micro-convnet | micro-resnet | mlp")
+		batch       = flag.Int("batch", 32, "global batch size")
+		epochs      = flag.Int("epochs", 15, "fixed epoch budget")
+		method      = flag.String("method", "lars", "recipe: sgd | linear | lars")
+		baseLR      = flag.Float64("base-lr", 0.05, "learning rate at the base batch")
+		baseBatch   = flag.Int("base-batch", 32, "reference batch for linear scaling")
+		warmup      = flag.Float64("warmup", 2, "warmup epochs (linear/lars)")
+		trust       = flag.Float64("trust", 0.01, "LARS trust coefficient")
+		wd          = flag.Float64("wd", 0.0005, "weight decay")
+		workers     = flag.Int("workers", 2, "data-parallel workers")
+		algo        = flag.String("algo", "ring", "allreduce topology: central | tree | ring (cross-node tier when -per-node is set)")
+		perNode     = flag.Int("per-node", 0, "workers per node for the two-tier hierarchical allreduce (0 = flat; must divide -workers)")
+		intraAlgo   = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
+		shards      = flag.Int("shards", 0, "logical gradient shards (0 = one per worker; pin across runs for bit-identical results)")
+		bucket      = flag.Int("bucket", 0, "gradient bucket size in float32 coords (0 = one bucket)")
+		overlap     = flag.Bool("overlap", false, "fire bucket reductions inside the backward pass (bit-identical; adds hidden/exposed accounting)")
+		reduction   = flag.String("reduction", "canonical", "gradient reduction arithmetic: canonical (f64 canonical order) | pairwise (fixed-tree f32 kernel)")
+		profile     = flag.Bool("profile", false, "profile the hot loop per step and report gemm/im2col/convert/reduce/codec/other wall-time shares")
+		precision   = flag.String("precision", "f32", "compute precision: f32 | f16 (binary16 GEMM operands, float32 accumulation and masters)")
+		lossScale   = flag.Float64("loss-scale", 0, "initial dynamic loss scale under -precision f16 (0 = 2^16; rounded to a power of two)")
+		codec       = flag.String("codec", "", "gradient payload codec: \"\" (raw) | fp16 | 1bit")
+		dropRate    = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
+		stallRate   = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
+		faultDead   = flag.String("fault-dead", "", "permanently kill workers: \"w@step\" pairs, comma-separated (e.g. \"3@40,2@60\")")
+		elastic     = flag.Bool("elastic", false, "evict persistently dead workers and continue on the survivors (elastic membership)")
+		evictAfter  = flag.Int("evict-after", 0, "consecutive failed recoveries before eviction (0 = default 3; needs -elastic)")
+		resolutions = flag.String("resolutions", "", "per-epoch input-resolution schedule, e.g. \"12x12@0-4,24x24@5+\" (needs a GAP-headed model: micro-convnet | micro-resnet)")
+		width       = flag.Int("width", 8, "model base width")
+		augment     = flag.Bool("augment", false, "enable weak data augmentation")
+		seed        = flag.Uint64("seed", 1, "experiment seed")
+		trainSize   = flag.Int("train-size", 4096, "synthetic training set size")
+		classes     = flag.Int("classes", 8, "synthetic class count")
+		imageSize   = flag.Int("image-size", 24, "synthetic image height/width")
+		quiet       = flag.Bool("quiet", false, "print only the final summary line")
 	)
 	flag.Parse()
 
@@ -228,6 +257,8 @@ func main() {
 			c.UseLRN = true
 			return models.NewMicroAlexNet(c)
 		}
+	case "micro-convnet":
+		factory = func(s uint64) *nn.Network { c := mcfg; c.Seed = s; return models.NewMicroConvNet(c) }
 	case "micro-resnet":
 		factory = func(s uint64) *nn.Network { c := mcfg; c.Seed = s; return models.NewMicroResNet(c) }
 	case "mlp":
@@ -272,6 +303,20 @@ func main() {
 	}
 	if *lossScale != 0 && prec != tensor.F16 {
 		log.Fatal("-loss-scale needs -precision f16")
+	}
+
+	var sched *data.ResolutionSchedule
+	if *resolutions != "" {
+		switch *modelName {
+		case "micro-convnet", "micro-resnet":
+		default:
+			log.Fatalf("-resolutions needs a GAP-headed model (micro-convnet | micro-resnet): %s bakes the %dx%d input size into its classifier weights",
+				*modelName, *imageSize, *imageSize)
+		}
+		sched, err = data.ParseResolutionSchedule(*resolutions)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var reductionPolicy dist.Reduction
@@ -345,6 +390,7 @@ func main() {
 		Trust:        *trust,
 		WeightDecay:  *wd,
 		Augment:      *augment,
+		Resolutions:  sched,
 		Seed:         *seed,
 	}
 
@@ -353,15 +399,28 @@ func main() {
 		log.Fatal(err)
 	}
 	if !*quiet {
-		fmt.Printf("# %s batch=%d epochs=%d method=%v target-lr=%.4f workers=%d\n",
+		fmt.Printf("# %s batch=%d epochs=%d method=%v target-lr=%.4f workers=%d",
 			*modelName, *batch, *epochs, m, cfg.TargetLR(), *workers)
-		fmt.Printf("%-6s %-10s %-8s %-8s\n", "epoch", "loss", "test-acc", "lr")
+		if sched != nil {
+			fmt.Printf(" resolutions=%s", sched)
+		}
+		fmt.Println()
+		if sched != nil {
+			fmt.Printf("%-6s %-8s %-10s %-8s %-8s\n", "epoch", "res", "loss", "test-acc", "lr")
+		} else {
+			fmt.Printf("%-6s %-10s %-8s %-8s\n", "epoch", "loss", "test-acc", "lr")
+		}
 		for _, e := range res.History {
 			acc := "-"
 			if !math.IsNaN(e.TestAcc) {
 				acc = fmt.Sprintf("%.4f", e.TestAcc)
 			}
-			fmt.Printf("%-6d %-10.4f %-8s %-8.4f\n", e.Epoch, e.TrainLoss, acc, e.LR)
+			if sched != nil {
+				fmt.Printf("%-6d %-8s %-10.4f %-8s %-8.4f\n",
+					e.Epoch, fmt.Sprintf("%dx%d", e.ResH, e.ResW), e.TrainLoss, acc, e.LR)
+			} else {
+				fmt.Printf("%-6d %-10.4f %-8s %-8.4f\n", e.Epoch, e.TrainLoss, acc, e.LR)
+			}
 		}
 	}
 	status := "ok"

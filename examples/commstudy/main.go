@@ -78,7 +78,7 @@ func main() {
 		Classes: 8, TrainSize: 256, TestSize: 64, C: 3, H: 16, W: 16,
 		Noise: 0.3, MaxShift: 2, Flip: true, Seed: 11,
 	})
-	x, labels := ds.Train.Gather(seq(64))
+	x, labels := ds.Train.MustGather(seq(64))
 	factory := repro.MicroAlexNetFactory(models.MicroConfig{Classes: 8, InH: 16, Width: 8})
 	fmt.Printf("  %-8s %-28s %-28s %s\n", "algo", "grad reduce (msgs/MB/rounds)", "weight bcast (msgs/MB/rounds)", "FDR time/step")
 	for _, algo := range []dist.Algorithm{dist.Central, dist.Tree, dist.Ring} {

@@ -157,7 +157,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		for j := range idx {
 			idx[j] = w.sampler.Intn(ds.Train.Len())
 		}
-		x, labels := ds.Train.Gather(idx)
+		x, labels := ds.Train.MustGather(idx)
 		w.replica.ZeroGrad()
 		logits := w.replica.Forward(x, true)
 		loss := w.loss.Forward(logits, labels)
@@ -236,7 +236,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		for j := range idx {
 			idx[j] = calRNG.Intn(ds.Train.Len())
 		}
-		x, _ := ds.Train.Gather(idx)
+		x, _ := ds.Train.MustGather(idx)
 		server.Forward(x, true)
 	}
 	// Final evaluation on the server weights.
@@ -259,7 +259,7 @@ func evalAccuracy(net *nn.Network, ds *data.Synth) float64 {
 		for i := range idx {
 			idx[i] = lo + i
 		}
-		x, labels := ds.Test.Gather(idx)
+		x, labels := ds.Test.MustGather(idx)
 		logits := net.Forward(x, false)
 		preds := logits.ArgMaxRows()
 		for i, p := range preds {

@@ -143,6 +143,24 @@ type Config struct {
 	// paper's "weak data augmentation" rows.
 	Augment bool
 
+	// Resolutions, when non-nil, is the per-epoch input-resolution schedule
+	// (the progressive-resolution curriculum of the ENTR hypothesis, e.g.
+	// parsed from "12x12@0-3,24x24@4+"). Each epoch's batches are
+	// materialized at Resolutions.At(epoch) via data.Dataset.GatherAt —
+	// resized with the deterministic kernel resampler before augmentation —
+	// and the single engine dispatches the same resized batch to every
+	// worker, so all replicas switch resolution in lockstep at epoch
+	// boundaries. Shard/span logic is untouched (batches change shape, not
+	// indices), which preserves the bit-identity contract across Workers,
+	// Topology, Overlap and pinned Shards at both precisions. Evaluation
+	// always runs at the dataset's native resolution. Requires a model
+	// whose parameter count is resolution-independent (a GAP-headed
+	// all-conv net such as models.NewMicroConvNet or NewMicroResNet);
+	// flatten→fc models panic at the first off-native shape. Nil trains
+	// every epoch at native resolution — bit-identical to the pre-schedule
+	// trainer.
+	Resolutions *data.ResolutionSchedule
+
 	// Precision selects the storage precision of the conv/fc GEMM operands
 	// (tensor.F32, the default, or tensor.F16). Under F16 every replica
 	// computes forward and backward through the binary16 kernels with
@@ -233,6 +251,9 @@ type EpochStats struct {
 	TrainLoss float64
 	TestAcc   float64 // NaN when not evaluated this epoch
 	LR        float64 // rate at the first step of the epoch
+	// ResH, ResW record the input resolution the epoch trained at (the
+	// dataset's native size unless Config.Resolutions scheduled another).
+	ResH, ResW int
 }
 
 // Result is the outcome of one run.
@@ -376,14 +397,25 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, TestAcc: math.NaN()}
+	_, nativeH, nativeW := ds.Train.ImageShape()
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs && !res.Diverged; epoch++ {
+		resH, resW := nativeH, nativeW
+		if cfg.Resolutions != nil {
+			resH, resW = cfg.Resolutions.At(epoch)
+		}
 		perm := ds.Train.Shuffled(cfg.Seed, epoch)
 		var epochLoss float64
 		var epochSteps int
 		lrAtStart := sched.LR(step, totalSteps)
 		for _, idx := range data.Batches(perm, cfg.Batch) {
-			x, labels := ds.Train.Gather(idx)
+			// At the native resolution GatherAt is exactly Gather, so
+			// nil-schedule runs reproduce the pre-schedule trainer
+			// bit-for-bit.
+			x, labels, err := ds.Train.GatherAt(idx, resH, resW)
+			if err != nil {
+				return nil, err
+			}
 			if aug != nil {
 				aug.Apply(x)
 			}
@@ -424,6 +456,8 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 			TrainLoss: epochLoss / float64(epochSteps),
 			TestAcc:   math.NaN(),
 			LR:        lrAtStart,
+			ResH:      resH,
+			ResW:      resW,
 		}
 		last := epoch == cfg.Epochs-1 || res.Diverged
 		if last || epoch%cfg.EvalEveryEpochs == 0 {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// resolutionDataset is native 24x24 so the schedule can halve to 12x12 and
+// the micro-convnet (two stride-2 stages + GAP) still has room to pool.
+func resolutionDataset() *data.Synth {
+	return data.GenerateSynth(data.SynthConfig{
+		Classes: 4, TrainSize: 128, TestSize: 64,
+		C: 3, H: 24, W: 24, Noise: 0.25, MaxShift: 1, Flip: false, Seed: 7,
+	})
+}
+
+// convNetFactory builds the GAP-headed all-conv micro model: its parameter
+// count is resolution-invariant (the schedule's precondition) and it has no
+// batch norm or dropout, so cross-worker bit-identity is attainable.
+func convNetFactory(width int) func(uint64) *nn.Network {
+	return func(seed uint64) *nn.Network {
+		return models.NewMicroConvNet(models.MicroConfig{
+			Classes: 4, InC: 3, InH: 24, InW: 24, Width: width, Seed: seed,
+		})
+	}
+}
+
+func parseSched(t *testing.T, s string) *data.ResolutionSchedule {
+	t.Helper()
+	sched, err := data.ParseResolutionSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func historiesBitIdentical(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if len(ref.History) != len(got.History) {
+		t.Fatalf("%s: history lengths differ: %d vs %d", label, len(ref.History), len(got.History))
+	}
+	for e := range ref.History {
+		a, b := ref.History[e], got.History[e]
+		if a.TrainLoss != b.TrainLoss {
+			t.Fatalf("%s: epoch %d loss %v differs bitwise from reference %v", label, e, b.TrainLoss, a.TrainLoss)
+		}
+		if !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) && a.TestAcc != b.TestAcc {
+			t.Fatalf("%s: epoch %d accuracy %v differs bitwise from reference %v", label, e, b.TestAcc, a.TestAcc)
+		}
+		if a.ResH != b.ResH || a.ResW != b.ResW {
+			t.Fatalf("%s: epoch %d trained at %dx%d, reference at %dx%d — replicas not in lockstep",
+				label, e, b.ResH, b.ResW, a.ResH, a.ResW)
+		}
+	}
+	if ref.FinalLoss != got.FinalLoss || ref.TestAcc != got.TestAcc {
+		t.Fatalf("%s: final results differ: (%v,%v) vs (%v,%v)",
+			label, got.FinalLoss, got.TestAcc, ref.FinalLoss, ref.TestAcc)
+	}
+}
+
+// TestProgressiveResolutionGridBitIdentical is the dynamic-shape acceptance
+// grid: a P=4 run that switches resolution mid-training (12x12 for epoch 0,
+// native 24x24 after) reproduces the P=1 trajectory bit-for-bit across
+// central/tree/ring/hierarchical topologies and overlap on/off, at both
+// precisions. Every replica derives the epoch's (h,w) from the same
+// schedule, and batches are resized before dispatch, so physical
+// decomposition stays invisible to the numerics even while shapes change.
+func TestProgressiveResolutionGridBitIdentical(t *testing.T) {
+	ds := resolutionDataset()
+	hier := dist.NewHierarchy(2, 2)
+	sched := parseSched(t, "12x12@0-0,24x24@1+")
+	run := func(p tensor.Precision, workers int, algo dist.Algorithm, topo *dist.Hierarchy, bucket int, overlap bool) *Result {
+		res, err := Train(Config{
+			Model: convNetFactory(4), Workers: workers, Shards: 4,
+			Algo: algo, Topology: topo, Bucket: bucket, Overlap: overlap,
+			Precision: p, Resolutions: sched,
+			Batch: 64, Epochs: 3, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, p := range []tensor.Precision{tensor.F32, tensor.F16} {
+		ref := run(p, 1, dist.Ring, nil, 0, false)
+		if ref.Diverged {
+			t.Fatalf("%s reference run diverged", p)
+		}
+		if got := [2]int{ref.History[0].ResH, ref.History[0].ResW}; got != [2]int{12, 12} {
+			t.Fatalf("%s: epoch 0 trained at %v, want 12x12", p, got)
+		}
+		for e := 1; e < len(ref.History); e++ {
+			if ref.History[e].ResH != 24 || ref.History[e].ResW != 24 {
+				t.Fatalf("%s: epoch %d trained at %dx%d, want 24x24",
+					p, e, ref.History[e].ResH, ref.History[e].ResW)
+			}
+		}
+		for _, tc := range []struct {
+			label string
+			algo  dist.Algorithm
+			topo  *dist.Hierarchy
+		}{
+			{"central", dist.Central, nil},
+			{"tree", dist.Tree, nil},
+			{"ring", dist.Ring, nil},
+			{"hier 2x2", dist.Tree, &hier},
+		} {
+			for _, overlap := range []bool{false, true} {
+				label := p.String() + " P=4 " + tc.label
+				bucket := 0
+				if overlap {
+					label += " overlap"
+					bucket = 33
+				}
+				historiesBitIdentical(t, label, ref, run(p, 4, tc.algo, tc.topo, bucket, overlap))
+			}
+		}
+	}
+}
+
+// TestProgressiveResolutionNegativeControl proves the schedule reaches the
+// numerics: constant 12x12 and constant 24x24 runs from the same seed must
+// produce different trajectories, and the progressive run must match
+// neither baseline bit-for-bit.
+func TestProgressiveResolutionNegativeControl(t *testing.T) {
+	ds := resolutionDataset()
+	run := func(sched *data.ResolutionSchedule) *Result {
+		res, err := Train(Config{
+			Model: convNetFactory(4), Resolutions: sched,
+			Batch: 64, Epochs: 3, Method: LARSWarmup,
+			BaseLR: 0.1, WarmupEpochs: 1, Trust: 0.05, Seed: 9,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	low := run(parseSched(t, "12x12"))
+	native := run(parseSched(t, "24x24"))
+	prog := run(parseSched(t, "12x12@0-0,24x24@1+"))
+	unsched := run(nil)
+
+	differs := func(a, b *Result) bool {
+		for e := range a.History {
+			if a.History[e].TrainLoss != b.History[e].TrainLoss {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(low, native) {
+		t.Fatal("12x12 and 24x24 trajectories agree bitwise — resizing is not reaching the model")
+	}
+	if !differs(prog, low) || !differs(prog, native) {
+		t.Fatal("progressive trajectory matches a constant baseline — the mid-training switch is not happening")
+	}
+	// A constant schedule at the native resolution is exactly no schedule.
+	historiesBitIdentical(t, "native-constant vs nil-schedule", unsched, native)
+}

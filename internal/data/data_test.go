@@ -1,6 +1,7 @@
 package data
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -100,7 +101,10 @@ func TestTemplateSeparability(t *testing.T) {
 
 func TestGather(t *testing.T) {
 	s := GenerateSynth(smallCfg())
-	x, labels := s.Train.Gather([]int{3, 1, 4})
+	x, labels, err := s.Train.Gather([]int{3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if x.Shape[0] != 3 || len(labels) != 3 {
 		t.Fatalf("gather shape %v, %d labels", x.Shape, len(labels))
 	}
@@ -120,14 +124,38 @@ func TestGather(t *testing.T) {
 	}
 }
 
-func TestGatherOutOfRangePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+// Out-of-range indices and image/label skew surface as *ShapeError — the
+// typed contract that replaced the old panic.
+func TestGatherShapeErrors(t *testing.T) {
 	s := GenerateSynth(smallCfg())
-	s.Train.Gather([]int{9999})
+	_, _, err := s.Train.Gather([]int{9999})
+	var se *ShapeError
+	if !errors.As(err, &se) {
+		t.Fatalf("out-of-range Gather returned %v, want *ShapeError", err)
+	}
+	if se.Op != "Gather" || se.Index != 9999 {
+		t.Fatalf("ShapeError = %+v, want Op=Gather Index=9999", se)
+	}
+
+	skew := &Dataset{Images: s.Train.Images, Labels: s.Train.Labels[:4], Classes: s.Train.Classes}
+	if _, _, err := skew.Gather([]int{0}); !errors.As(err, &se) {
+		t.Fatalf("image/label skew returned %v, want *ShapeError", err)
+	}
+	if _, _, err := skew.GatherAt([]int{0}, 6, 6); !errors.As(err, &se) {
+		t.Fatalf("GatherAt on skewed dataset returned %v, want *ShapeError", err)
+	}
+	if _, err := skew.Subset([]int{0}); !errors.As(err, &se) {
+		t.Fatalf("Subset on skewed dataset returned %v, want *ShapeError", err)
+	}
+
+	flat := &Dataset{Images: tensor.New(4, 3*12*12), Labels: make([]int, 4), Classes: 2}
+	if _, _, err := flat.Gather([]int{0}); !errors.As(err, &se) {
+		t.Fatalf("non-4d images returned %v, want *ShapeError", err)
+	}
+
+	if _, _, err := s.Train.GatherAt([]int{0}, 0, 12); !errors.As(err, &se) {
+		t.Fatalf("non-positive resize target returned %v, want *ShapeError", err)
+	}
 }
 
 // Property: sharding partitions the dataset — every example lands in exactly
@@ -227,7 +255,10 @@ func TestAugmenterFlipOnlyIsLossless(t *testing.T) {
 
 func TestSubset(t *testing.T) {
 	s := GenerateSynth(smallCfg())
-	sub := s.Train.Subset([]int{0, 2, 4, 6})
+	sub, err := s.Train.Subset([]int{0, 2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sub.Len() != 4 || sub.Classes != 4 {
 		t.Fatalf("subset len %d classes %d", sub.Len(), sub.Classes)
 	}

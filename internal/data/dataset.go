@@ -16,6 +16,7 @@ package data
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -35,27 +36,94 @@ func (d *Dataset) ImageShape() (c, h, w int) {
 	return d.Images.Shape[1], d.Images.Shape[2], d.Images.Shape[3]
 }
 
+// check validates the dataset's stored geometry before a view is
+// materialized: Images must be [N,C,H,W] and agree with the label count.
+func (d *Dataset) check(op string) error {
+	if d.Images == nil {
+		return shapeErrf(op, -1, "dataset has nil image tensor")
+	}
+	if len(d.Images.Shape) != 4 {
+		return shapeErrf(op, -1, "image tensor is %v, want 4-d [N,C,H,W]", d.Images.Shape)
+	}
+	if n := d.Images.Shape[0]; n != len(d.Labels) {
+		return shapeErrf(op, -1, "image tensor holds %d examples but dataset has %d labels", n, len(d.Labels))
+	}
+	return nil
+}
+
 // Gather copies the examples at idx into a fresh batch tensor and label
-// slice. The copy keeps augmentation from mutating the dataset.
-func (d *Dataset) Gather(idx []int) (*tensor.Tensor, []int) {
+// slice. The copy keeps augmentation from mutating the dataset. A malformed
+// dataset (non-[N,C,H,W] images, image/label skew) or an index outside
+// [0, N) returns a *ShapeError rather than mis-indexing or panicking.
+func (d *Dataset) Gather(idx []int) (*tensor.Tensor, []int, error) {
+	if err := d.check("Gather"); err != nil {
+		return nil, nil, err
+	}
 	c, h, w := d.ImageShape()
 	imLen := c * h * w
 	x := tensor.New(len(idx), c, h, w)
 	labels := make([]int, len(idx))
 	for i, j := range idx {
 		if j < 0 || j >= d.Len() {
-			panic(fmt.Sprintf("data: Gather index %d out of range [0,%d)", j, d.Len()))
+			return nil, nil, shapeErrf("Gather", j, "out of range [0,%d)", d.Len())
 		}
 		copy(x.Data[i*imLen:(i+1)*imLen], d.Images.Data[j*imLen:(j+1)*imLen])
 		labels[i] = d.Labels[j]
 	}
+	return x, labels, nil
+}
+
+// MustGather is Gather for callers whose indices are valid by construction
+// (permutations of [0, N)); it panics on the errors Gather would return.
+func (d *Dataset) MustGather(idx []int) (*tensor.Tensor, []int) {
+	x, labels, err := d.Gather(idx)
+	if err != nil {
+		panic(err)
+	}
 	return x, labels
 }
 
+// GatherAt materializes the batch at resolution h×w: examples are gathered
+// and each channel plane is resampled with the deterministic kernel resize
+// (area for shrink, bilinear for grow). At the dataset's native resolution
+// it is exactly Gather — same bytes, no resampling. This is the primitive
+// the loader and trainer use to apply a ResolutionSchedule while leaving
+// shard/span logic untouched: batches change shape, indices do not.
+func (d *Dataset) GatherAt(idx []int, h, w int) (*tensor.Tensor, []int, error) {
+	if err := d.check("GatherAt"); err != nil {
+		return nil, nil, err
+	}
+	c, sh, sw := d.ImageShape()
+	if h == sh && w == sw {
+		return d.Gather(idx)
+	}
+	if h <= 0 || w <= 0 {
+		return nil, nil, shapeErrf("GatherAt", -1, "target resolution %dx%d must be positive", h, w)
+	}
+	x := tensor.New(len(idx), c, h, w)
+	labels := make([]int, len(idx))
+	srcPlane, dstPlane := sh*sw, h*w
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			return nil, nil, shapeErrf("GatherAt", j, "out of range [0,%d)", d.Len())
+		}
+		for ch := 0; ch < c; ch++ {
+			src := d.Images.Data[(j*c+ch)*srcPlane : (j*c+ch+1)*srcPlane]
+			dst := x.Data[(i*c+ch)*dstPlane : (i*c+ch+1)*dstPlane]
+			kernel.ResizePlane(dst, h, w, src, sh, sw)
+		}
+		labels[i] = d.Labels[j]
+	}
+	return x, labels, nil
+}
+
 // Subset returns a view-like dataset holding copies of the examples at idx.
-func (d *Dataset) Subset(idx []int) *Dataset {
-	x, labels := d.Gather(idx)
-	return &Dataset{Images: x, Labels: labels, Classes: d.Classes}
+func (d *Dataset) Subset(idx []int) (*Dataset, error) {
+	x, labels, err := d.Gather(idx)
+	if err != nil {
+		return nil, &ShapeError{Op: "Subset", Index: err.(*ShapeError).Index, Detail: err.(*ShapeError).Detail}
+	}
+	return &Dataset{Images: x, Labels: labels, Classes: d.Classes}, nil
 }
 
 // Shard partitions the dataset round-robin into p shards and returns shard
@@ -70,7 +138,13 @@ func (d *Dataset) Shard(i, p int) *Dataset {
 	for j := i; j < d.Len(); j += p {
 		idx = append(idx, j)
 	}
-	return d.Subset(idx)
+	// Round-robin indices are in range by construction; a failure here is a
+	// malformed dataset, which Shard's contract treats as a programmer error.
+	sub, err := d.Subset(idx)
+	if err != nil {
+		panic(err)
+	}
+	return sub
 }
 
 // Shuffled returns a deterministic permutation of example indices for the

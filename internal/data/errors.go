@@ -1,0 +1,25 @@
+package data
+
+import "fmt"
+
+// ShapeError is the typed error returned when a dataset's stored geometry
+// cannot satisfy a requested view: a gather index outside [0, N), an image
+// tensor that is not [N,C,H,W], an image/label length skew, or an invalid
+// resize target. Callers distinguish it with errors.As; the zero Index is
+// -1 when the failure is not tied to one example.
+type ShapeError struct {
+	Op     string // failing operation: "Gather", "GatherAt", "Subset", ...
+	Index  int    // offending example index, -1 if not index-related
+	Detail string
+}
+
+func (e *ShapeError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("data: %s: index %d: %s", e.Op, e.Index, e.Detail)
+	}
+	return fmt.Sprintf("data: %s: %s", e.Op, e.Detail)
+}
+
+func shapeErrf(op string, index int, format string, args ...any) *ShapeError {
+	return &ShapeError{Op: op, Index: index, Detail: fmt.Sprintf(format, args...)}
+}

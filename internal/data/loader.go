@@ -26,6 +26,7 @@ type Loader struct {
 	seed    uint64
 	augPad  int
 	augFlip bool
+	sched   *ResolutionSchedule
 
 	ch   chan Batch
 	stop chan struct{}
@@ -43,6 +44,10 @@ type LoaderConfig struct {
 	AugmentFlip bool
 	// Prefetch is the channel depth (default 2).
 	Prefetch int
+	// Schedule, when non-nil, is the per-epoch resolution plan: each batch
+	// is materialized at Schedule.At(epoch) via GatherAt before
+	// augmentation. Nil trains every epoch at the dataset's native size.
+	Schedule *ResolutionSchedule
 }
 
 // NewLoader starts the background assembly goroutine. Callers must either
@@ -57,7 +62,7 @@ func NewLoader(ds *Dataset, cfg LoaderConfig) *Loader {
 	}
 	l := &Loader{
 		ds: ds, batch: cfg.Batch, epochs: cfg.Epochs, seed: cfg.Seed,
-		augPad: cfg.AugmentPad, augFlip: cfg.AugmentFlip,
+		augPad: cfg.AugmentPad, augFlip: cfg.AugmentFlip, sched: cfg.Schedule,
 		ch:   make(chan Batch, depth),
 		stop: make(chan struct{}),
 	}
@@ -71,10 +76,21 @@ func (l *Loader) fill() {
 	if l.augPad > 0 || l.augFlip {
 		aug = NewAugmenter(l.augPad, l.augFlip, rng.New(l.seed^0xa5a5a5a5))
 	}
+	_, nativeH, nativeW := l.ds.ImageShape()
 	for epoch := 0; epoch < l.epochs; epoch++ {
+		h, w := nativeH, nativeW
+		if l.sched != nil {
+			h, w = l.sched.At(epoch)
+		}
 		perm := l.ds.Shuffled(l.seed, epoch)
 		for i, idx := range Batches(perm, l.batch) {
-			x, labels := l.ds.Gather(idx)
+			x, labels, err := l.ds.GatherAt(idx, h, w)
+			if err != nil {
+				// Permutation indices are in range and the schedule is
+				// validated at parse time, so a failure here is a malformed
+				// dataset — an invariant violation, not a runtime condition.
+				panic(err)
+			}
 			if aug != nil {
 				aug.Apply(x)
 			}

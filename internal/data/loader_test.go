@@ -16,7 +16,7 @@ func TestLoaderMatchesSynchronousPath(t *testing.T) {
 	for epoch := 0; epoch < 3; epoch++ {
 		perm := s.Train.Shuffled(9, epoch)
 		for i, idx := range Batches(perm, 16) {
-			want, wantLabels := s.Train.Gather(idx)
+			want, wantLabels := s.Train.MustGather(idx)
 			aug.Apply(want)
 			got, ok := l.Next()
 			if !ok {
@@ -77,7 +77,7 @@ func TestLoaderWithoutAugmentation(t *testing.T) {
 	}
 	// Unaugmented data must match Gather exactly.
 	perm := s.Train.Shuffled(3, 0)
-	want, _ := s.Train.Gather(perm[:32])
+	want, _ := s.Train.MustGather(perm[:32])
 	for j := range want.Data {
 		if b.X.Data[j] != want.Data[j] {
 			t.Fatal("unaugmented loader batch differs from Gather")

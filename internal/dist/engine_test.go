@@ -22,7 +22,7 @@ func testTask(batch int) (*tensor.Tensor, []int, func(seed uint64) *nn.Network) 
 	for i := range idx {
 		idx[i] = i
 	}
-	x, labels := ds.Train.Gather(idx)
+	x, labels := ds.Train.MustGather(idx)
 	factory := func(seed uint64) *nn.Network {
 		return models.NewMLP(models.MicroConfig{Classes: 4, InC: 3, InH: 8, InW: 8, Width: 4, Seed: seed})
 	}

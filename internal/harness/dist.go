@@ -27,7 +27,7 @@ func AllreduceStudy(s *Setup, workers int) (*Table, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	x, labels := ds.Train.Gather(idx)
+	x, labels := ds.Train.MustGather(idx)
 	newReplicas := func() []*nn.Network {
 		replicas := make([]*nn.Network, workers)
 		for i := range replicas {

@@ -292,6 +292,42 @@ func TestMixedPrecisionStudyMechanics(t *testing.T) {
 	}
 }
 
+// TestProgressiveResolutionStudyMechanics: the progressive-resolution
+// exhibit produces one row per schedule, both dynamic-shape identity
+// contracts must hold bitwise (with the progressive-vs-fixed negative
+// control enforced inside the study), the progressive row must report a
+// two-phase FLOP curve with positive analytic savings, and the table is
+// volatile.
+func TestProgressiveResolutionStudyMechanics(t *testing.T) {
+	tab, err := ProgressiveResolutionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("ProgressiveResolution study has %d rows, want 2 (one per schedule)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "exact" {
+			t.Fatalf("schedule %s identity check failed: %q", row[0], row[1])
+		}
+	}
+	if strings.Contains(tab.Rows[0][5], ",") {
+		t.Fatalf("fixed row reports multiple phases: %q", tab.Rows[0][5])
+	}
+	if !strings.Contains(tab.Rows[1][5], "16x16") || !strings.Contains(tab.Rows[1][5], "24x24") {
+		t.Fatalf("progressive row's phase curve %q lacks both resolutions", tab.Rows[1][5])
+	}
+	if tab.Rows[0][7] != "0.0%" {
+		t.Fatalf("fixed row should save no FLOPs, got %q", tab.Rows[0][7])
+	}
+	if tab.Rows[1][7] == "0.0%" || strings.HasPrefix(tab.Rows[1][7], "-") {
+		t.Fatalf("progressive row's analytic savings %q should be positive", tab.Rows[1][7])
+	}
+	if !tab.Volatile {
+		t.Fatal("ProgressiveResolution study must be marked volatile (its wall cells vary per machine)")
+	}
+}
+
 // TestServeStudyDeterministic: the serve exhibit runs entirely on the
 // virtual clock, so it rides the byte-exact analytic subset: two
 // generations must render bit-identically, every uniform-regime row's

@@ -42,7 +42,7 @@ func HotLoopStudy() (*Table, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	x, labels := ds.Train.Gather(idx)
+	x, labels := ds.Train.MustGather(idx)
 	factory := func(seed uint64) *nn.Network {
 		return models.NewMicroAlexNet(models.MicroConfig{Classes: 4, InH: 16, Width: 4, Seed: seed})
 	}

@@ -162,7 +162,7 @@ func precisionProfiledStep(prec tensor.Precision, ds *data.Synth) (dist.ProfileS
 	for i := range idx {
 		idx[i] = i
 	}
-	x, labels := ds.Train.Gather(idx)
+	x, labels := ds.Train.MustGather(idx)
 	replicas := make([]*nn.Network, 4)
 	for i := range replicas {
 		replicas[i] = precisionNet(1 + uint64(i)*7919)

@@ -37,7 +37,7 @@ func OverlapStudy() (*Table, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	x, labels := ds.Train.Gather(idx)
+	x, labels := ds.Train.MustGather(idx)
 	// Micro-AlexNet rather than the test MLP: its first conv is tiny, so
 	// nearly every bucket is overlap-eligible — the convnet shape the
 	// overlap argument is about (early layers cheap, late layers heavy).

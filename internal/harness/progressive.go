@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// ProgressiveResolutionStudy measures the ENTR hypothesis end to end on the
+// synthetic task: train the GAP-headed micro conv net at a fixed native
+// resolution and under a progressive schedule that spends the early epochs
+// at reduced-area inputs, then compare time-to-accuracy. For each
+// schedule it (a) verifies the dynamic-shape identity contract — a run that
+// switches resolution mid-training must reproduce the P=1 trajectory
+// bit-identically at P=4 flat, P=4 hierarchical and P=4 overlapped with a
+// pinned shard split — (b) trains to completion at P=4 and reports accuracy
+// and measured wall clock, and (c) prices the same curriculum analytically
+// with cluster.SimulateProgressive, whose per-phase FLOP curve comes from
+// the spec replayed at each phase resolution (models.ModelSpec.At). A
+// negative control confirms the progressive trajectory differs bitwise from
+// the fixed one — without it the identity column could pass with the
+// schedule dead.
+//
+// Identity cells are exact reproducible arithmetic; the wall cells are
+// measured, so the table is Volatile (docs-drift compares its
+// digit-normalized shape).
+func ProgressiveResolutionStudy() (*Table, error) {
+	t := &Table{
+		ID:       "ProgressiveResolution study",
+		Title:    "Progressive-resolution training: dynamic input shapes end to end (P=4, micro conv net)",
+		Header:   []string{"schedule", "identity (P, topology)", "test acc", "final loss", "train wall", "train flops/img by phase", "analytic wall", "analytic flop savings"},
+		Volatile: true,
+	}
+	ds := data.GenerateSynth(data.SynthConfig{
+		Classes: 4, TrainSize: 256, TestSize: 128,
+		C: 3, H: 24, W: 24, Noise: 0.25, MaxShift: 1, Seed: 7,
+	})
+	spec := models.MicroConvNetSpec(models.MicroConfig{Classes: 4, InC: 3, InH: 24, InW: 24, Width: 4})
+	const epochs, batch = 10, 64
+
+	rows := []struct {
+		label, schedule string
+		// identitySchedule is a short variant whose resolution switch lands
+		// inside the 3-epoch identity runs.
+		identitySchedule string
+	}{
+		{"fixed 24x24", "24x24", "24x24"},
+		{"progressive 16→24", "16x16@0-3,24x24@4+", "16x16@0-0,24x24@1+"},
+	}
+	var trajectories [2][]float64
+	for i, row := range rows {
+		sched, err := data.ParseResolutionSchedule(row.schedule)
+		if err != nil {
+			return nil, err
+		}
+		identity, err := progressiveIdentity(row.identitySchedule, ds)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		res, err := core.Train(core.Config{
+			Model: progressiveNet, Workers: 4, Resolutions: sched,
+			Batch: batch, Epochs: epochs, Method: core.BaselineSGD,
+			BaseLR: 0.1, Seed: 1,
+		}, ds)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		trajectories[i] = make([]float64, len(res.History))
+		for e, h := range res.History {
+			trajectories[i][e] = h.TrainLoss
+		}
+
+		est := cluster.SimulateProgressive(cluster.KNLCluster(4), spec, batch, epochs, ds.Train.Len(), sched)
+		var phases []string
+		for _, p := range est.Phases {
+			phases = append(phases, fmt.Sprintf("%dx%d: %.2fM", p.H, p.W, float64(p.TrainFLOPsPerImage)/1e6))
+		}
+		t.Add(row.label, identity,
+			fmt.Sprintf("%.3f", res.TestAcc),
+			fmt.Sprintf("%.4f", res.FinalLoss),
+			fmt.Sprintf("%.2fs", wall.Seconds()),
+			strings.Join(phases, ", "),
+			fmt.Sprintf("%.2fms", est.TotalSec*1e3),
+			fmt.Sprintf("%.1f%%", est.FLOPSavingsPct()))
+	}
+
+	// Negative control: the curriculum must not share the fixed trajectory.
+	same := len(trajectories[0]) == len(trajectories[1])
+	if same {
+		for e := range trajectories[0] {
+			if trajectories[0][e] != trajectories[1][e] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return nil, fmt.Errorf("harness: progressive trajectory is bit-identical to fixed — the resolution schedule is not reaching the trainer")
+	}
+
+	entrSched, err := data.ParseResolutionSchedule("112x112@0-29,224x224@30+")
+	if err != nil {
+		return nil, err
+	}
+	entr := cluster.SimulateProgressive(cluster.DGXPod(4), models.ResNet50Spec(), 2048, 90, 1281167, entrSched)
+	t.Note("Identity column is exact: a 3-epoch run whose input resolution switches mid-training (16x16 for epoch 0, native 24x24 after) must reproduce the P=1 loss trajectory bitwise at P=4 flat, P=4 hierarchical (2x2) and P=4 overlapped (pinned Shards=4). Every replica derives the epoch's (h,w) from the same schedule and batches are resized with the deterministic area/bilinear kernel before dispatch, so decomposition stays invisible while shapes change. A negative control confirms progressive ≠ fixed bitwise.")
+	t.Note("Time-to-accuracy is the ENTR claim: early epochs at reduced-area inputs cost proportionally fewer per-image FLOPs (the phase column replays the spec at each resolution — conv cost scales with the output area, GAP head so |W| never changes), so the curriculum — the first four of ten epochs at 16x16, 4/9 of the native area, mirroring ENTR's 112x112 opening third — should approach the fixed run's accuracy in less wall time. Downscale gently: a 12x12 opening (quarter area) overfits scale-specific features that do not survive the switch on this micro task.")
+	t.Note("Analytic columns price the same schedules with cluster.SimulateProgressive (communication stays at the canonical weight volume; compute is repriced per phase). At paper scale the curriculum 112x112@0-29,224x224@30+ on ResNet-50 (DGX pod of 4, B=2048, 90 epochs) prices %.0f%% faster than fixed 224x224 with %.0f%% of the training FLOPs avoided.", entr.SpeedupPct(), entr.FLOPSavingsPct())
+	return t, nil
+}
+
+// progressiveNet builds the GAP-headed all-conv micro model the study
+// trains: its parameter count is resolution-invariant (the schedule's
+// precondition), and it has no batch norm or dropout, so cross-P
+// bit-identity is attainable.
+func progressiveNet(seed uint64) *nn.Network {
+	return models.NewMicroConvNet(models.MicroConfig{
+		Classes: 4, InC: 3, InH: 24, InW: 24, Width: 4, Seed: seed,
+	})
+}
+
+// progressiveIdentity runs the dynamic-shape determinism contract for one
+// schedule: the 3-epoch trajectory at P=1 must reproduce bitwise across
+// P=4 decompositions even when the resolution switches between epochs.
+func progressiveIdentity(schedule string, ds *data.Synth) (string, error) {
+	sched, err := data.ParseResolutionSchedule(schedule)
+	if err != nil {
+		return "", err
+	}
+	hier := dist.NewHierarchy(2, 2)
+	run := func(workers int, topology *dist.Hierarchy, bucket int, overlap bool) ([]float64, error) {
+		res, err := core.Train(core.Config{
+			Model: progressiveNet, Workers: workers, Shards: 4,
+			Algo: dist.Ring, Topology: topology, Bucket: bucket, Overlap: overlap,
+			Resolutions: sched,
+			Batch:       64, Epochs: 3, Method: core.BaselineSGD, BaseLR: 0.1, Seed: 9,
+		}, ds)
+		if err != nil {
+			return nil, err
+		}
+		traj := make([]float64, len(res.History))
+		for i, h := range res.History {
+			traj[i] = h.TrainLoss
+		}
+		return traj, nil
+	}
+	ref, err := run(1, nil, 0, false)
+	if err != nil {
+		return "", err
+	}
+	for _, tc := range []struct {
+		label   string
+		workers int
+		topo    *dist.Hierarchy
+		bucket  int
+		overlap bool
+	}{
+		{"P=4 flat", 4, nil, 0, false},
+		{"P=4 hier", 4, &hier, 0, false},
+		{"P=4 overlap", 4, nil, 33, true},
+	} {
+		got, err := run(tc.workers, tc.topo, tc.bucket, tc.overlap)
+		if err != nil {
+			return "", err
+		}
+		for e := range ref {
+			if got[e] != ref[e] {
+				return fmt.Sprintf("DRIFT at %s epoch %d", tc.label, e), nil
+			}
+		}
+	}
+	return "exact", nil
+}

@@ -55,6 +55,34 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkResize times the progressive-resolution resampling kernels on
+// the schedule transitions the studies actually run (24→12 shrink, 12→24
+// grow) plus an ImageNet-like 224→112 plane (input bytes/sec).
+func BenchmarkResize(b *testing.B) {
+	shapes := []struct {
+		name           string
+		sh, sw, dh, dw int
+	}{
+		{"area", 24, 24, 12, 12},
+		{"bilinear", 12, 12, 24, 24},
+		{"area", 224, 224, 112, 112},
+	}
+	r := rng.New(42)
+	for _, sh := range shapes {
+		src := make([]float32, sh.sh*sh.sw)
+		for i := range src {
+			src[i] = r.NormFloat32()
+		}
+		dst := make([]float32, sh.dh*sh.dw)
+		b.Run(fmt.Sprintf("%s/%dx%d-to-%dx%d", sh.name, sh.sh, sh.sw, sh.dh, sh.dw), func(b *testing.B) {
+			b.SetBytes(4 * int64(sh.sh) * int64(sh.sw))
+			for i := 0; i < b.N; i++ {
+				ResizePlane(dst, sh.dh, sh.dw, src, sh.sh, sh.sw)
+			}
+		})
+	}
+}
+
 // BenchmarkReduction times the two gradient-reduction policies over an
 // 8-shard, 256k-coordinate buffer set (input bytes/sec).
 func BenchmarkReduction(b *testing.B) {

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func ramp(h, w int) []float32 {
+	p := make([]float32, h*w)
+	for i := range p {
+		p[i] = float32(i)
+	}
+	return p
+}
+
+// Integer-factor area shrink is the exact mean of each s×s block.
+func TestResizeAreaIntegerShrink(t *testing.T) {
+	const sh, sw = 24, 16
+	src := ramp(sh, sw)
+	dst := make([]float32, 12*8)
+	ResizeAreaPlane(dst, 12, 8, src, sh, sw)
+	for oy := 0; oy < 12; oy++ {
+		for ox := 0; ox < 8; ox++ {
+			var sum float64
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sum += float64(src[(2*oy+dy)*sw+2*ox+dx])
+				}
+			}
+			want := float32(sum / 4)
+			if got := dst[oy*8+ox]; got != want {
+				t.Fatalf("dst[%d,%d] = %g, want block mean %g", oy, ox, got, want)
+			}
+		}
+	}
+}
+
+// Fractional-coverage area shrink preserves the mean of a constant plane
+// exactly and the global mean of any plane to float64 accuracy.
+func TestResizeAreaFractional(t *testing.T) {
+	const sh, sw = 10, 7
+	src := make([]float32, sh*sw)
+	for i := range src {
+		src[i] = 3.25
+	}
+	dst := make([]float32, 4*3)
+	ResizeAreaPlane(dst, 4, 3, src, sh, sw)
+	for i, v := range dst {
+		if v != 3.25 {
+			t.Fatalf("constant plane not preserved at %d: %g", i, v)
+		}
+	}
+
+	r := rng.New(7)
+	for i := range src {
+		src[i] = r.NormFloat32()
+	}
+	ResizeAreaPlane(dst, 4, 3, src, sh, sw)
+	// Output cells tile the source area, so the area-weighted output mean
+	// must equal the source mean (each cell has equal area here: 10/4 x 7/3).
+	var srcMean, dstMean float64
+	for _, v := range src {
+		srcMean += float64(v)
+	}
+	for _, v := range dst {
+		dstMean += float64(v)
+	}
+	srcMean /= float64(len(src))
+	dstMean /= float64(len(dst))
+	if math.Abs(srcMean-dstMean) > 1e-6 {
+		t.Fatalf("mean not preserved: src %g dst %g", srcMean, dstMean)
+	}
+}
+
+// Bilinear upscale of a linear ramp reproduces the ramp at the sampled
+// half-pixel centers; constants stay constant.
+func TestResizeBilinear(t *testing.T) {
+	const sh, sw = 4, 4
+	src := make([]float32, sh*sw)
+	for y := 0; y < sh; y++ {
+		for x := 0; x < sw; x++ {
+			src[y*sw+x] = float32(x) // horizontal ramp
+		}
+	}
+	const dh, dw = 4, 8
+	dst := make([]float32, dh*dw)
+	ResizeBilinearPlane(dst, dh, dw, src, sh, sw)
+	for ox := 0; ox < dw; ox++ {
+		// Source x-coordinate of this output column, clamped to taps.
+		s := (float64(ox)+0.5)*0.5 - 0.5
+		if s < 0 {
+			s = 0
+		}
+		if s > sw-1 {
+			s = sw - 1
+		}
+		want := float32(s)
+		if got := dst[ox]; math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("col %d = %g, want %g", ox, got, want)
+		}
+	}
+
+	for i := range src {
+		src[i] = -1.5
+	}
+	ResizeBilinearPlane(dst, dh, dw, src, sh, sw)
+	for i, v := range dst {
+		if v != -1.5 {
+			t.Fatalf("constant plane not preserved at %d: %g", i, v)
+		}
+	}
+}
+
+// The dispatcher picks identity copy / area / bilinear and both paths are
+// deterministic: repeated calls produce identical bytes.
+func TestResizePlaneDispatchAndDeterminism(t *testing.T) {
+	r := rng.New(11)
+	src := make([]float32, 24*16)
+	for i := range src {
+		src[i] = r.NormFloat32()
+	}
+
+	same := make([]float32, 24*16)
+	ResizePlane(same, 24, 16, src, 24, 16)
+	for i := range src {
+		if same[i] != src[i] {
+			t.Fatalf("identity resize changed element %d", i)
+		}
+	}
+
+	for _, d := range []struct{ dh, dw int }{{12, 8}, {48, 32}, {17, 9}, {31, 24}} {
+		a := make([]float32, d.dh*d.dw)
+		b := make([]float32, d.dh*d.dw)
+		ResizePlane(a, d.dh, d.dw, src, 24, 16)
+		ResizePlane(b, d.dh, d.dw, src, 24, 16)
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("%dx%d: resize not bit-deterministic at %d", d.dh, d.dw, i)
+			}
+		}
+	}
+}
+
+// Downscale→upscale round-trip of a smooth plane stays close: a sanity
+// bound, not a precision claim.
+func TestResizeRoundTrip(t *testing.T) {
+	const sh, sw = 24, 24
+	src := make([]float32, sh*sw)
+	for y := 0; y < sh; y++ {
+		for x := 0; x < sw; x++ {
+			src[y*sw+x] = float32(math.Sin(float64(x)/6) * math.Cos(float64(y)/6))
+		}
+	}
+	small := make([]float32, 12*12)
+	ResizePlane(small, 12, 12, src, sh, sw)
+	back := make([]float32, sh*sw)
+	ResizePlane(back, sh, sw, small, 12, 12)
+	var maxErr float64
+	for i := range src {
+		if e := math.Abs(float64(src[i] - back[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("round-trip error %g too large for a smooth plane", maxErr)
+	}
+}

@@ -100,6 +100,35 @@ func NewMicroResNet(cfg MicroConfig) *nn.Network {
 	return net
 }
 
+// NewMicroConvNet builds the all-convolutional, GAP-headed micro model used
+// by the progressive-resolution experiments: conv-relu stacks with two
+// stride-2 downsampling convs, global average pooling, and a linear
+// classifier. Every layer computes its geometry from the incoming batch, so
+// the same weights train and evaluate at any input resolution the two
+// stride-2 stages can absorb (H, W ≥ 4) — unlike MicroAlexNet, whose
+// flatten→fc head bakes the canonical H×W into |W|. It deliberately has no
+// batch normalization or dropout: BN batch statistics and per-replica
+// dropout RNG would break bit-identity across worker counts, and the
+// shape-agnostic regression grid trains this model across P/topologies.
+func NewMicroConvNet(cfg MicroConfig) *nn.Network {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	w := cfg.Width
+	return nn.NewNetwork(fmt.Sprintf("micro-convnet-w%d", w),
+		nn.NewConv("conv1", r, cfg.InC, w, 3, 1, 1, nn.ConvOpts{}),
+		nn.NewReLU("relu1"),
+		nn.NewConv("conv2", r, w, 2*w, 3, 2, 1, nn.ConvOpts{}),
+		nn.NewReLU("relu2"),
+		nn.NewConv("conv3", r, 2*w, 2*w, 3, 1, 1, nn.ConvOpts{}),
+		nn.NewReLU("relu3"),
+		nn.NewConv("conv4", r, 2*w, 4*w, 3, 2, 1, nn.ConvOpts{}),
+		nn.NewReLU("relu4"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", r, 4*w, cfg.Classes),
+	)
+}
+
 // NewMLP builds a plain two-hidden-layer perceptron baseline. It is the
 // cheapest model that still shows the large-batch generalization gap, which
 // makes it useful for fast tests of the optimizer machinery.
@@ -138,5 +167,21 @@ func MicroAlexNetSpec(cfg MicroConfig) *ModelSpec {
 	b.relu("relu2").maxpool("pool2", 2, 2, 0)
 	b.fc("fc1", 8*w, true).relu("relu3").dropout("drop1")
 	b.fc("fc2", cfg.Classes, true)
+	return b.build()
+}
+
+// MicroConvNetSpec mirrors NewMicroConvNet for cost accounting. Being
+// all-conv with a GAP head, its ParamCount is the same at every input
+// resolution, which is what lets the simulator price a resolution
+// curriculum with a constant communication volume.
+func MicroConvNetSpec(cfg MicroConfig) *ModelSpec {
+	cfg = cfg.withDefaults()
+	w := cfg.Width
+	b := newSpecBuilder(fmt.Sprintf("micro-convnet-w%d", w), cfg.InC, cfg.InH, cfg.InW, cfg.Classes)
+	b.conv("conv1", w, 3, 1, 1, 1, true).relu("relu1")
+	b.conv("conv2", 2*w, 3, 2, 1, 1, true).relu("relu2")
+	b.conv("conv3", 2*w, 3, 1, 1, 1, true).relu("relu3")
+	b.conv("conv4", 4*w, 3, 2, 1, 1, true).relu("relu4")
+	b.gap("gap").fc("fc", cfg.Classes, true)
 	return b.build()
 }

@@ -15,28 +15,22 @@ var resNet50Stages = []int{3, 4, 6, 3}
 // 1x1 convolution, as in the original ResNet paper the authors cite) to the
 // builder, including the projection shortcut when the geometry changes.
 func bottleneckSpec(b *specBuilder, name string, mid, stride int) {
-	inC, inH, inW := b.c, b.h, b.w
+	inC := b.c
 	out := 4 * mid
+	entry := b.mark()
 	b.conv(name+".conv1", mid, 1, stride, 0, 1, false).bn(name + ".bn1").relu(name + ".relu1")
 	b.conv(name+".conv2", mid, 3, 1, 1, 1, false).bn(name + ".bn2").relu(name + ".relu2")
 	b.conv(name+".conv3", out, 1, 1, 0, 1, false).bn(name + ".bn3")
+	body := b.mark()
 	if inC != out || stride != 1 {
-		// Projection shortcut: 1x1 conv from the block input geometry.
-		outH := (inH-1)/stride + 1
-		outW := (inW-1)/stride + 1
-		b.m.Layers = append(b.m.Layers,
-			LayerSpec{
-				Name: name + ".down", Kind: "conv",
-				Params: int64(inC) * int64(out),
-				MACs:   int64(inC) * int64(out) * int64(outH*outW),
-				OutC:   out, OutH: outH, OutW: outW,
-			},
-			LayerSpec{
-				Name: name + ".downbn", Kind: "bn", Params: 2 * int64(out),
-				MACs: 2 * int64(out) * int64(outH*outW), OutC: out, OutH: outH, OutW: outW,
-			},
-		)
+		// Projection shortcut: 1x1 conv fed from the block input, so the
+		// builder cursor branches back to the entry mark and the replay
+		// recipe records the true feeding layer.
+		b.restore(entry)
+		b.conv(name+".down", out, 1, stride, 0, 1, false).bn(name + ".downbn")
 	}
+	// The elementwise sum output has the body geometry.
+	b.restore(body)
 	b.relu(name + ".relu3")
 }
 

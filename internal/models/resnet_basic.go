@@ -14,25 +14,17 @@ import (
 
 // basicBlockSpec appends one 3x3+3x3 basic residual block.
 func basicBlockSpec(b *specBuilder, name string, out, stride int) {
-	inC, inH, inW := b.c, b.h, b.w
+	inC := b.c
+	entry := b.mark()
 	b.conv(name+".conv1", out, 3, stride, 1, 1, false).bn(name + ".bn1").relu(name + ".relu1")
 	b.conv(name+".conv2", out, 3, 1, 1, 1, false).bn(name + ".bn2")
+	body := b.mark()
 	if inC != out || stride != 1 {
-		outH := (inH-1)/stride + 1
-		outW := (inW-1)/stride + 1
-		b.m.Layers = append(b.m.Layers,
-			LayerSpec{
-				Name: name + ".down", Kind: "conv",
-				Params: int64(inC) * int64(out),
-				MACs:   int64(inC) * int64(out) * int64(outH*outW),
-				OutC:   out, OutH: outH, OutW: outW,
-			},
-			LayerSpec{
-				Name: name + ".downbn", Kind: "bn", Params: 2 * int64(out),
-				MACs: 2 * int64(out) * int64(outH*outW), OutC: out, OutH: outH, OutW: outW,
-			},
-		)
+		// Projection shortcut fed from the block input (see bottleneckSpec).
+		b.restore(entry)
+		b.conv(name+".down", out, 1, stride, 0, 1, false).bn(name + ".downbn")
 	}
+	b.restore(body)
 	b.relu(name + ".relu2")
 }
 

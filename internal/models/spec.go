@@ -25,6 +25,19 @@ type LayerSpec struct {
 	// Output activation shape (channels, height, width). Fully-connected
 	// layers use OutC with OutH = OutW = 1.
 	OutC, OutH, OutW int
+
+	// Replay recipe, set by specBuilder: enough to recompute Params, MACs,
+	// and output dims when the model input resolution changes (At /
+	// FLOPsPerImageAt). In is the index of the feeding layer (-1 = model
+	// input) — branches like ResNet projection shortcuts feed from an
+	// earlier layer than their list predecessor. K doubles as the LRN
+	// window. Replay is only defined for builder-produced specs.
+	In     int
+	K      int
+	Stride int
+	Pad    int
+	Groups int
+	Bias   bool
 }
 
 // ModelSpec is an ordered stack of LayerSpecs plus the input geometry.
@@ -64,6 +77,93 @@ func (m *ModelSpec) FLOPsPerImage() int64 { return 2 * m.MACsPerImage() }
 // for 90-epoch ResNet-50 training is built on.
 func (m *ModelSpec) TrainFLOPsPerImage() int64 { return 3 * m.FLOPsPerImage() }
 
+// At replays the spec at a different input resolution: every layer's output
+// dims, MACs, and (for layers whose parameters depend on the activation
+// size, i.e. fc after flatten) Params are recomputed from the recipe fields
+// while channel widths and kernel geometry stay fixed. GAP-headed models
+// keep their exact ParamCount at every resolution; flatten→fc models
+// change |W| with resolution, which At reports faithfully — callers that
+// require a fixed weight vector (the distributed engine, the simulator's
+// comm pricing) must check ParamCount invariance. Only defined for specs
+// produced by this package's builder (the recipe fields must be set).
+func (m *ModelSpec) At(h, w int) *ModelSpec {
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("models: %s: At(%d,%d) input must be positive", m.Name, h, w))
+	}
+	out := &ModelSpec{Name: m.Name, InputC: m.InputC, InputH: h, InputW: w, Classes: m.Classes,
+		Layers: make([]LayerSpec, len(m.Layers))}
+	for i, l := range m.Layers {
+		inC, inH, inW := m.InputC, h, w
+		if l.In >= 0 {
+			f := out.Layers[l.In]
+			inC, inH, inW = f.OutC, f.OutH, f.OutW
+		}
+		nl := l
+		switch l.Kind {
+		case "conv":
+			outH := (inH+2*l.Pad-l.K)/l.Stride + 1
+			outW := (inW+2*l.Pad-l.K)/l.Stride + 1
+			if outH <= 0 || outW <= 0 {
+				panic(fmt.Sprintf("models: %s: conv %s output empty at input %dx%d", m.Name, l.Name, h, w))
+			}
+			nl.Params = int64(l.OutC) * int64(inC/l.Groups) * int64(l.K*l.K)
+			if l.Bias {
+				nl.Params += int64(l.OutC)
+			}
+			nl.MACs = int64(inC/l.Groups) * int64(l.K*l.K) * int64(l.OutC) * int64(outH*outW)
+			nl.OutH, nl.OutW = outH, outW
+		case "fc":
+			in := int64(inC) * int64(inH) * int64(inW)
+			nl.Params = in * int64(l.OutC)
+			if l.Bias {
+				nl.Params += int64(l.OutC)
+			}
+			nl.MACs = in * int64(l.OutC)
+		case "bn":
+			nl.Params = 2 * int64(inC)
+			nl.MACs = 2 * int64(inC) * int64(inH*inW)
+			nl.OutC, nl.OutH, nl.OutW = inC, inH, inW
+		case "lrn":
+			nl.MACs = int64(l.K) * int64(inC) * int64(inH*inW)
+			nl.OutC, nl.OutH, nl.OutW = inC, inH, inW
+		case "pool":
+			outH := (inH+2*l.Pad-l.K)/l.Stride + 1
+			outW := (inW+2*l.Pad-l.K)/l.Stride + 1
+			if outH <= 0 || outW <= 0 {
+				panic(fmt.Sprintf("models: %s: pool %s output empty at input %dx%d", m.Name, l.Name, h, w))
+			}
+			nl.MACs = int64(l.K*l.K) * int64(inC) * int64(outH*outW) / 2
+			nl.OutC, nl.OutH, nl.OutW = inC, outH, outW
+		case "gap":
+			nl.MACs = int64(inC) * int64(inH*inW) / 2
+			nl.OutC, nl.OutH, nl.OutW = inC, 1, 1
+		case "relu", "dropout":
+			nl.OutC, nl.OutH, nl.OutW = inC, inH, inW
+		default:
+			panic(fmt.Sprintf("models: %s: cannot replay layer kind %q", m.Name, l.Kind))
+		}
+		out.Layers[i] = nl
+	}
+	return out
+}
+
+// LayersAt returns the per-layer specs replayed at input resolution h×w.
+func (m *ModelSpec) LayersAt(h, w int) []LayerSpec { return m.At(h, w).Layers }
+
+// MACsPerImageAt returns the forward multiply-accumulates at input h×w.
+func (m *ModelSpec) MACsPerImageAt(h, w int) int64 { return m.At(h, w).MACsPerImage() }
+
+// FLOPsPerImageAt returns FLOPsPerImage recomputed at input resolution h×w;
+// at the canonical (InputH, InputW) it equals FLOPsPerImage exactly.
+func (m *ModelSpec) FLOPsPerImageAt(h, w int) int64 { return m.At(h, w).FLOPsPerImage() }
+
+// TrainFLOPsPerImageAt is the 3x forward+backward accounting at input h×w.
+func (m *ModelSpec) TrainFLOPsPerImageAt(h, w int) int64 { return 3 * m.FLOPsPerImageAt(h, w) }
+
+// ParamCountAt returns |W| at input h×w. Equal to ParamCount at every
+// resolution for GAP-headed models; differs for flatten→fc models.
+func (m *ModelSpec) ParamCountAt(h, w int) int64 { return m.At(h, w).ParamCount() }
+
 // ScalingRatio is Table 6's computation-to-communication ratio:
 // FLOPs per image divided by parameter count. Models with a higher ratio
 // (ResNet-50: ~308) scale more easily than low-ratio models (AlexNet: ~24.6).
@@ -87,17 +187,38 @@ func (m *ModelSpec) String() string {
 	return b.String()
 }
 
-// specBuilder accumulates layers while tracking the activation shape.
+// specBuilder accumulates layers while tracking the activation shape and
+// the index of the layer that produced it (the feeding layer recorded in
+// each LayerSpec.In so At can replay branches).
 type specBuilder struct {
 	m       *ModelSpec
 	c, h, w int
+	from    int // index of the layer producing the current activation; -1 = input
 }
 
 func newSpecBuilder(name string, inC, inH, inW, classes int) *specBuilder {
 	return &specBuilder{
 		m: &ModelSpec{Name: name, InputC: inC, InputH: inH, InputW: inW, Classes: classes},
-		c: inC, h: inH, w: inW,
+		c: inC, h: inH, w: inW, from: -1,
 	}
+}
+
+// specMark is a saved builder cursor: residual branches restore it to
+// append a shortcut path fed from the block input.
+type specMark struct {
+	c, h, w, from int
+}
+
+func (b *specBuilder) mark() specMark { return specMark{b.c, b.h, b.w, b.from} }
+
+func (b *specBuilder) restore(m specMark) { b.c, b.h, b.w, b.from = m.c, m.h, m.w, m.from }
+
+// push appends a layer with the feeding-cursor recorded and advances the
+// cursor to it.
+func (b *specBuilder) push(l LayerSpec) {
+	l.In = b.from
+	b.m.Layers = append(b.m.Layers, l)
+	b.from = len(b.m.Layers) - 1
 }
 
 // conv appends a convolution. groups models AlexNet's two-tower grouped
@@ -116,8 +237,9 @@ func (b *specBuilder) conv(name string, outC, k, stride, pad, groups int, bias b
 		params += int64(outC)
 	}
 	macs := int64(b.c/groups) * int64(k*k) * int64(outC) * int64(outH*outW)
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "conv", Params: params, MACs: macs, OutC: outC, OutH: outH, OutW: outW,
+		K: k, Stride: stride, Pad: pad, Groups: groups, Bias: bias,
 	})
 	b.c, b.h, b.w = outC, outH, outW
 	return b
@@ -130,8 +252,9 @@ func (b *specBuilder) fc(name string, out int, bias bool) *specBuilder {
 	if bias {
 		params += int64(out)
 	}
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "fc", Params: params, MACs: in * int64(out), OutC: out, OutH: 1, OutW: 1,
+		Bias: bias,
 	})
 	b.c, b.h, b.w = out, 1, 1
 	return b
@@ -140,7 +263,7 @@ func (b *specBuilder) fc(name string, out int, bias bool) *specBuilder {
 // bn appends batch normalization: 2 learnable scalars per channel and ~4 ops
 // per activation (counted as 2 MACs).
 func (b *specBuilder) bn(name string) *specBuilder {
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "bn", Params: 2 * int64(b.c),
 		MACs: 2 * int64(b.c) * int64(b.h*b.w), OutC: b.c, OutH: b.h, OutW: b.w,
 	})
@@ -150,22 +273,22 @@ func (b *specBuilder) bn(name string) *specBuilder {
 // lrn appends local response normalization (no parameters; ~windowSize MACs
 // per activation).
 func (b *specBuilder) lrn(name string, window int) *specBuilder {
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "lrn", MACs: int64(window) * int64(b.c) * int64(b.h*b.w),
-		OutC: b.c, OutH: b.h, OutW: b.w,
+		OutC: b.c, OutH: b.h, OutW: b.w, K: window,
 	})
 	return b
 }
 
 // relu appends an activation (no parameters, negligible MACs).
 func (b *specBuilder) relu(name string) *specBuilder {
-	b.m.Layers = append(b.m.Layers, LayerSpec{Name: name, Kind: "relu", OutC: b.c, OutH: b.h, OutW: b.w})
+	b.push(LayerSpec{Name: name, Kind: "relu", OutC: b.c, OutH: b.h, OutW: b.w})
 	return b
 }
 
 // dropout appends a dropout layer (no parameters or MACs).
 func (b *specBuilder) dropout(name string) *specBuilder {
-	b.m.Layers = append(b.m.Layers, LayerSpec{Name: name, Kind: "dropout", OutC: b.c, OutH: b.h, OutW: b.w})
+	b.push(LayerSpec{Name: name, Kind: "dropout", OutC: b.c, OutH: b.h, OutW: b.w})
 	return b
 }
 
@@ -173,9 +296,9 @@ func (b *specBuilder) dropout(name string) *specBuilder {
 func (b *specBuilder) maxpool(name string, k, stride, pad int) *specBuilder {
 	outH := (b.h+2*pad-k)/stride + 1
 	outW := (b.w+2*pad-k)/stride + 1
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "pool", MACs: int64(k*k) * int64(b.c) * int64(outH*outW) / 2,
-		OutC: b.c, OutH: outH, OutW: outW,
+		OutC: b.c, OutH: outH, OutW: outW, K: k, Stride: stride, Pad: pad,
 	})
 	b.h, b.w = outH, outW
 	return b
@@ -183,7 +306,7 @@ func (b *specBuilder) maxpool(name string, k, stride, pad int) *specBuilder {
 
 // gap appends global average pooling down to 1x1.
 func (b *specBuilder) gap(name string) *specBuilder {
-	b.m.Layers = append(b.m.Layers, LayerSpec{
+	b.push(LayerSpec{
 		Name: name, Kind: "gap", MACs: int64(b.c) * int64(b.h*b.w) / 2, OutC: b.c, OutH: 1, OutW: 1,
 	})
 	b.h, b.w = 1, 1

@@ -22,15 +22,20 @@ type Conv2D struct {
 	// cached between Forward and Backward
 	x    *tensor.Tensor
 	geom tensor.ConvGeom
-	col  []float32 // scratch im2col buffer, reused across calls
+
+	// Per-input-shape workspaces (im2col panels, f16 packs), keyed by the
+	// spatial dims so a resolution schedule reallocates deterministically
+	// on change and reuses slots on return. cur is the slot of the shape
+	// Forward last saw, consumed by Backward.
+	scratch convCache
+	cur     *convScratch
 
 	// F16 compute path: binary16 copies of the GEMM operands, repacked
 	// each call (weights change every step; activations every batch). The
 	// float32 master weights in Weight are never touched by precision.
+	// wHalf is shape-independent and so lives on the layer, not the cache.
 	precision tensor.Precision
 	wHalf     *tensor.Half // Weight.W packed once per Forward
-	colHalf   *tensor.Half // im2col panel, packed per sample
-	dyHalf    *tensor.Half // dout sample, packed per sample in Backward
 }
 
 // ConvOpts configures optional Conv2D behaviour.
@@ -67,7 +72,7 @@ func (c *Conv2D) Name() string { return c.name }
 func (c *Conv2D) SetPrecision(p tensor.Precision) {
 	c.precision = p
 	if p == tensor.F16 && c.wHalf == nil {
-		c.wHalf, c.colHalf, c.dyHalf = tensor.NewHalf(), tensor.NewHalf(), tensor.NewHalf()
+		c.wHalf = tensor.NewHalf()
 	}
 }
 
@@ -104,10 +109,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	k := c.InC * c.KH * c.KW
 	l := outH * outW
-	if cap(c.col) < k*l {
-		c.col = make([]float32, k*l)
-	}
-	col := c.col[:k*l]
+	c.cur = c.scratch.at(shapeKey{h: g.InH, w: g.InW}, k*l, c.precision == tensor.F16)
+	col := c.cur.col
 	y := tensor.New(n, c.OutC, outH, outW)
 	imLen := c.InC * g.InH * g.InW
 	colM := tensor.FromSlice(col, k, l)
@@ -118,8 +121,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		tensor.Im2Col(g, x.Data[s*imLen:(s+1)*imLen], col)
 		ym := tensor.FromSlice(y.Data[s*c.OutC*l:(s+1)*c.OutC*l], c.OutC, l)
 		if c.precision == tensor.F16 {
-			tensor.PackHalf(c.colHalf, colM)
-			tensor.GemmHalf(false, false, 1, c.wHalf, c.colHalf, 0, ym)
+			tensor.PackHalf(c.cur.colHalf, colM)
+			tensor.GemmHalf(false, false, 1, c.wHalf, c.cur.colHalf, 0, ym)
 		} else {
 			tensor.Gemm(false, false, 1, c.Weight.W, colM, 0, ym)
 		}
@@ -149,9 +152,11 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	k := c.InC * c.KH * c.KW
 	l := outH * outW
-	col := c.col[:k*l]
+	col := c.cur.col
 	colM := tensor.FromSlice(col, k, l)
-	dcol := make([]float32, k*l)
+	// dcol rides the same shape slot as col: the beta=0 GEMM below rewrites
+	// every element before Col2Im reads it.
+	dcol := c.cur.dcol
 	dcolM := tensor.FromSlice(dcol, k, l)
 	dx := tensor.New(x.Shape...)
 	imLen := c.InC * g.InH * g.InW
@@ -164,10 +169,10 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			// Ride the binary16 kernels on packed dy and col; wHalf still
 			// holds this step's weights from Forward. Gradients (G, dcol)
 			// stay float32.
-			tensor.PackHalf(c.colHalf, colM)
-			tensor.PackHalf(c.dyHalf, dym)
-			tensor.GemmHalf(false, true, 1, c.dyHalf, c.colHalf, 1, c.Weight.G)
-			tensor.GemmHalf(true, false, 1, c.wHalf, c.dyHalf, 0, dcolM)
+			tensor.PackHalf(c.cur.colHalf, colM)
+			tensor.PackHalf(c.cur.dyHalf, dym)
+			tensor.GemmHalf(false, true, 1, c.cur.dyHalf, c.cur.colHalf, 1, c.Weight.G)
+			tensor.GemmHalf(true, false, 1, c.wHalf, c.cur.dyHalf, 0, dcolM)
 		} else {
 			tensor.Gemm(false, true, 1, dym, colM, 1, c.Weight.G)
 			// dx = col2im(Wᵀ · dy)

@@ -16,7 +16,12 @@ type MaxPool2D struct {
 	PadH, PadW       int
 
 	inShape []int
-	argmax  []int32 // flat input index chosen for each output element
+	// argmax holds the flat input index chosen for each output element. It
+	// is per-input-shape scratch (the batch dimension folds in, so the key
+	// carries n and c too), cached so resolution switches reallocate
+	// deterministically and revisited shapes reuse their slot.
+	scratch argmaxCache
+	argmax  []int32
 }
 
 // NewMaxPool returns a square max-pooling layer.
@@ -43,11 +48,7 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.inShape = append(l.inShape[:0], x.Shape...)
 	y := tensor.New(n, c, outH, outW)
-	need := n * c * outH * outW
-	if cap(l.argmax) < need {
-		l.argmax = make([]int32, need)
-	}
-	l.argmax = l.argmax[:need]
+	l.argmax = l.scratch.at(shapeKey{n: n, c: c, h: h, w: w}, n*c*outH*outW)
 	xd, yd := x.Data, y.Data
 	planes := n * c
 	par.ForGrain(planes, 1, func(lo, hi int) {

@@ -40,7 +40,7 @@ func BenchmarkServeForward(b *testing.B) {
 	for i := range idx {
 		idx[i] = i
 	}
-	images, _ := synth.Test.Gather(idx)
+	images, _ := synth.Test.MustGather(idx)
 	rowLen := images.Numel() / images.Dim(0)
 	for _, size := range []int{1, 4, 16} {
 		x := tensor.New(append([]int{size}, images.Shape[1:]...)...)

@@ -37,7 +37,7 @@ func TestTrainCheckpointServeBitIdentical(t *testing.T) {
 	for i := range idx {
 		idx[i] = i
 	}
-	xb, labels := synth.Train.Gather(idx)
+	xb, labels := synth.Train.MustGather(idx)
 	for step := 0; step < 3; step++ {
 		if _, err := engine.ComputeGradient(xb, labels); err != nil {
 			t.Fatalf("train step %d: %v", step, err)
@@ -77,7 +77,7 @@ func TestTrainCheckpointServeBitIdentical(t *testing.T) {
 	for i := range testIdx {
 		testIdx[i] = i
 	}
-	images, _ := synth.Test.Gather(testIdx)
+	images, _ := synth.Test.MustGather(testIdx)
 	rowLen := images.Numel() / images.Dim(0)
 
 	for _, prec := range []tensor.Precision{tensor.F32, tensor.F16} {

@@ -22,7 +22,7 @@ func poolFixture(t *testing.T) (func() *nn.Network, *tensor.Tensor) {
 	for i := range idx {
 		idx[i] = i
 	}
-	images, _ := synth.Test.Gather(idx)
+	images, _ := synth.Test.MustGather(idx)
 	return factory, images
 }
 

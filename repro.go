@@ -102,6 +102,26 @@ func GenerateSynth(cfg SynthConfig) *Synth { return data.GenerateSynth(cfg) }
 // DefaultSynthConfig returns the laptop-scale default dataset.
 func DefaultSynthConfig() SynthConfig { return data.DefaultSynthConfig() }
 
+// Progressive-resolution schedules (TrainConfig.Resolutions).
+type (
+	// ResolutionSchedule maps each training epoch to an input resolution.
+	ResolutionSchedule = data.ResolutionSchedule
+	// ResolutionPhase is one constant-resolution segment of a schedule.
+	ResolutionPhase = data.ResolutionPhase
+	// ShapeError is the typed error Dataset gather/resize operations return
+	// on shape or index mismatches.
+	ShapeError = data.ShapeError
+)
+
+// ParseResolutionSchedule parses "12x12@0-4,24x24@5+"-style curricula:
+// comma-separated HxW phases with inclusive epoch ranges, the last open.
+func ParseResolutionSchedule(s string) (*ResolutionSchedule, error) {
+	return data.ParseResolutionSchedule(s)
+}
+
+// FixedResolution returns the schedule that trains every epoch at h×w.
+func FixedResolution(h, w int) *ResolutionSchedule { return data.FixedResolution(h, w) }
+
 // Model types.
 type (
 	// Network is a trainable layer stack.
@@ -149,6 +169,22 @@ func MicroResNetFactory(cfg MicroConfig) func(seed uint64) *Network {
 		c := cfg
 		c.Seed = seed
 		return models.NewMicroResNet(c)
+	}
+}
+
+// MicroConvNetSpec returns the cost-accounting spec of the GAP-headed
+// all-conv micro model built by MicroConvNetFactory with the same config.
+func MicroConvNetSpec(cfg MicroConfig) *ModelSpec { return models.MicroConvNetSpec(cfg) }
+
+// MicroConvNetFactory returns a factory building the GAP-headed all-conv
+// micro model — the model the progressive-resolution experiments train,
+// because its parameter count does not depend on the input size (set
+// TrainConfig.Resolutions for the curriculum).
+func MicroConvNetFactory(cfg MicroConfig) func(seed uint64) *Network {
+	return func(seed uint64) *Network {
+		c := cfg
+		c.Seed = seed
+		return models.NewMicroConvNet(c)
 	}
 }
 
@@ -315,6 +351,19 @@ type ElasticEstimate = cluster.ElasticEstimate
 // per-phase timeline plus the time-to-accuracy cost versus a healthy fleet.
 func SimulateElastic(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, evictAtFrac []float64) ElasticEstimate {
 	return cluster.SimulateElastic(c, spec, batch, epochs, datasetSize, evictAtFrac)
+}
+
+// ProgressiveEstimate prices a run under a resolution schedule.
+type ProgressiveEstimate = cluster.ProgressiveEstimate
+
+// SimulateProgressive prices a fixed-epoch run under a per-epoch resolution
+// schedule: each phase's compute is repriced with the spec replayed at the
+// phase resolution while communication stays at the canonical weight
+// volume. The result reports the phase timeline and the wall-clock and
+// FLOP savings versus the fixed-resolution run — the analytic face of
+// TrainConfig.Resolutions.
+func SimulateProgressive(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, sched *ResolutionSchedule) ProgressiveEstimate {
+	return cluster.SimulateProgressive(c, spec, batch, epochs, datasetSize, sched)
 }
 
 // DGX1 returns one 8xP100 DGX-1 station.
