@@ -34,6 +34,24 @@
 //
 //	simulate -model resnet50 -batch 32768 -nodes 64 -machine knl \
 //	         -epochs 90 -evict 0.25,0.5
+//
+// -autoscale replays a traffic/preemption trace through the autoscaling
+// control plane (cluster.SimulateAutoscale) instead of pricing a fixed
+// run. The trace is a comma-separated list of "LOADxN" segments — N
+// intervals of offered load at LOAD times the starting fleet's healthy
+// throughput — with an optional "!P" suffix preempting P devices at the
+// segment's first interval. The policy knobs ride alongside:
+// -target-util (scale up past this utilization, down when the smaller
+// fleet stays under it), -max-backlog (a queue older than this many
+// seconds forces a scale-up), -scale-min/-scale-max bounds, -cooldown
+// intervals of hysteresis, -interval seconds per trace step and -usd-hour
+// per-device pricing. The report shows the world-size timeline, the
+// membership churn, the mean reaction time and the dollar bill against
+// pinning -scale-max devices. A day-shaped surge with a mid-surge spot
+// reclaim on an 8-node fleet allowed to double:
+//
+//	simulate -model resnet50 -batch 2048 -nodes 8 -machine knl \
+//	         -autoscale "0.3x4,1.5x4!1,1.5x4,0.3x8" -scale-max 16
 package main
 
 import (
@@ -54,21 +72,29 @@ func main() {
 	log.SetPrefix("simulate: ")
 
 	var (
-		model    = flag.String("model", "resnet50", "model: alexnet | alexnet-bn | resnet50")
-		machine  = flag.String("machine", "knl", "device: k20 | m40 | p100 | knl | cpu")
-		network  = flag.String("network", "opa", "fabric: fdr | qdr | 10gbe | opa | nvlink (cross-node tier when -per-node is set)")
-		algo     = flag.String("algo", "ring", "allreduce: central | tree | ring (cross-node tier when -per-node is set)")
-		nodes    = flag.Int("nodes", 2048, "device count")
-		batch    = flag.Int("batch", 32768, "global batch size")
-		epochs   = flag.Int("epochs", 90, "epoch budget")
-		dataset  = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
-		overlap  = flag.Bool("overlap", false, "overlap bucket allreduces with the backward pass (bucket-level pipeline model)")
-		obuckets = flag.Int("overlap-buckets", 0, "gradient buckets for the overlap pipeline (0 = default 16)")
-		sweep    = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
-		evict    = flag.String("evict", "", "degrading fleet: comma-separated run fractions, one device lost at each (e.g. \"0.25,0.5\")")
-		perNode  = flag.Int("per-node", 0, "devices per node for two-tier hierarchical pricing (0 = flat; must divide -nodes)")
-		intraNet = flag.String("intra-network", "nvlink", "within-node fabric when -per-node is set: fdr | qdr | 10gbe | opa | nvlink")
-		intraAlg = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
+		model      = flag.String("model", "resnet50", "model: alexnet | alexnet-bn | resnet50")
+		machine    = flag.String("machine", "knl", "device: k20 | m40 | p100 | knl | cpu")
+		network    = flag.String("network", "opa", "fabric: fdr | qdr | 10gbe | opa | nvlink (cross-node tier when -per-node is set)")
+		algo       = flag.String("algo", "ring", "allreduce: central | tree | ring (cross-node tier when -per-node is set)")
+		nodes      = flag.Int("nodes", 2048, "device count")
+		batch      = flag.Int("batch", 32768, "global batch size")
+		epochs     = flag.Int("epochs", 90, "epoch budget")
+		dataset    = flag.Int("dataset", 1280000, "dataset size (ImageNet-1k default)")
+		overlap    = flag.Bool("overlap", false, "overlap bucket allreduces with the backward pass (bucket-level pipeline model)")
+		obuckets   = flag.Int("overlap-buckets", 0, "gradient buckets for the overlap pipeline (0 = default 16)")
+		sweep      = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
+		evict      = flag.String("evict", "", "degrading fleet: comma-separated run fractions, one device lost at each (e.g. \"0.25,0.5\")")
+		autoscale  = flag.String("autoscale", "", "replay a traffic trace through the autoscaler: \"LOADxN[!P]\" segments, LOAD relative to the healthy fleet (e.g. \"0.3x4,1.5x8!1,0.3x8\")")
+		targetUtil = flag.Float64("target-util", 0.8, "autoscaler utilization target (0 disables the utilization rule)")
+		maxBacklog = flag.Float64("max-backlog", 0, "autoscaler backlog SLO in seconds (0 disables the queue-depth rule)")
+		scaleMin   = flag.Int("scale-min", 1, "autoscaler fleet floor")
+		scaleMax   = flag.Int("scale-max", 0, "autoscaler fleet ceiling (0 = -nodes; flat clusters may exceed -nodes)")
+		cooldown   = flag.Int("cooldown", 0, "autoscaler intervals of hysteresis after each scale event")
+		interval   = flag.Float64("interval", 60, "autoscaler trace resolution in seconds")
+		usdHour    = flag.Float64("usd-hour", 3, "autoscaler per-device-hour price for the cost accounting")
+		perNode    = flag.Int("per-node", 0, "devices per node for two-tier hierarchical pricing (0 = flat; must divide -nodes)")
+		intraNet   = flag.String("intra-network", "nvlink", "within-node fabric when -per-node is set: fdr | qdr | 10gbe | opa | nvlink")
+		intraAlg   = flag.String("intra-algo", "ring", "within-node allreduce when -per-node is set: central | tree | ring")
 	)
 	flag.Parse()
 
@@ -228,5 +254,46 @@ func main() {
 		fmt.Printf("  healthy fleet:  %s (%.0f img/s)\n", el.Healthy.Duration().Round(1e9), el.Healthy.ImagesSec)
 		fmt.Printf("  degraded fleet: %s (%.0f img/s avg), time-to-accuracy +%.1f%%\n",
 			el.Duration().Round(1e9), el.ImagesSec, el.SlowdownPct())
+	}
+
+	if *autoscale != "" {
+		var trace []cluster.TrafficPoint
+		for _, seg := range strings.Split(*autoscale, ",") {
+			seg = strings.TrimSpace(seg)
+			preempt := 0
+			if body, p, ok := strings.Cut(seg, "!"); ok {
+				n, err := strconv.Atoi(p)
+				if err != nil || n < 0 {
+					log.Fatalf("bad -autoscale segment %q: preemption count %q", seg, p)
+				}
+				seg, preempt = body, n
+			}
+			loadStr, nStr, ok := strings.Cut(seg, "x")
+			load, err1 := strconv.ParseFloat(strings.TrimSpace(loadStr), 64)
+			n, err2 := strconv.Atoi(strings.TrimSpace(nStr))
+			if !ok || err1 != nil || err2 != nil || load < 0 || n < 1 {
+				log.Fatalf("bad -autoscale segment %q: want \"LOADxN[!P]\"", seg)
+			}
+			for i := 0; i < n; i++ {
+				tp := cluster.TrafficPoint{OfferedImagesSec: load * e.ImagesSec}
+				if i == 0 {
+					tp.Preemptions = preempt
+				}
+				trace = append(trace, tp)
+			}
+		}
+		pol := cluster.AutoscalePolicy{
+			Min: *scaleMin, Max: *scaleMax,
+			TargetUtilization: *targetUtil, MaxBacklogSec: *maxBacklog,
+			CooldownIntervals: *cooldown, USDPerDeviceHour: *usdHour,
+		}
+		est := cluster.SimulateAutoscale(buildCluster(*nodes), spec, *batch, *interval, trace, pol)
+		fmt.Printf("\nautoscale replay (%d intervals of %.0fs; load relative to the healthy %.0f img/s):\n",
+			len(trace), *interval, e.ImagesSec)
+		fmt.Printf("  world timeline: %s\n", est.Timeline)
+		fmt.Printf("  joins=%d evictions=%d (preempted %d) reaction=%.1f intervals final_backlog=%.0fs\n",
+			est.Joins, est.Evictions, est.Preempted, est.ReactionIntervals, est.FinalBacklogSec)
+		fmt.Printf("  cost: $%.2f elastic vs $%.2f static-max (%.0f%% saved)\n",
+			est.TotalUSD, est.StaticUSD, est.SavingsPct())
 	}
 }

@@ -102,12 +102,20 @@
 // engine evicts the dead worker, rebalances the logical shard spans over
 // the surviving P−1 workers, shrinks the topology (a hierarchy node losing
 // all its workers leaves the inter tier), re-broadcasts the weights, and
-// keeps training in lockstep at the smaller world size. The final report
-// then adds a membership line: evictions, rebalanced shards, resync bytes,
-// and the steps spent at each world size. Given the same fault plan and
-// policy the degrading run is bit-identical across -algo choices, and every
-// post-eviction step is bit-identical to a fresh run at the smaller world
-// started from the rebalanced weights.
+// keeps training in lockstep at the smaller world size. -fault-join is the
+// mirror image: "3@60" admits worker 3 at the step-60 boundary — a fresh
+// replica starts pending and joins warm-started from a weight broadcast; a
+// worker that is also in -fault-dead at an earlier step rejoins after its
+// outage (preempted capacity coming back). The spans rebalance upward over
+// P+1, a refilled hierarchy node rejoins the inter tier, and the final
+// report's membership line covers both directions: evictions, joins,
+// rebalanced shards, resync/warm-start bytes, the steps spent at each
+// world size, and the signed event timeline ("-3@41 +3@60"). Given the
+// same fault plan and policy the resizing run is bit-identical across
+// -algo choices, every post-eviction step is bit-identical to a fresh run
+// at the smaller world started from the rebalanced weights, and every
+// post-join step to a fresh run at the grown world started from the
+// broadcast weights.
 //
 // # Worked examples
 //
@@ -139,6 +147,15 @@
 //	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
 //	      -warmup 2 -workers 4 -algo ring -fault-dead 3@40 \
 //	      -elastic -evict-after 3
+//
+// The same preemption with the capacity coming back: worker 3 is reclaimed
+// at step 40, evicted, then readmitted at the step-60 boundary — the
+// membership line reports one eviction, one join and the "-3@43 +3@60"
+// event timeline, and the run finishes back at full strength:
+//
+//	train -model micro-alexnet -batch 1024 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -algo ring -fault-dead 3@40 \
+//	      -fault-join 3@60 -elastic -evict-after 3
 //
 // The paper's recipe on the fast reduction kernel, with the hot loop
 // profiled — the final lines report the phase shares and pin the run to
@@ -214,6 +231,7 @@ func main() {
 		dropRate    = flag.Float64("fault-drop", 0, "per-(step,worker) payload drop probability (deterministic, exact recovery)")
 		stallRate   = flag.Float64("fault-stall", 0, "per-(step,worker) straggler probability")
 		faultDead   = flag.String("fault-dead", "", "permanently kill workers: \"w@step\" pairs, comma-separated (e.g. \"3@40,2@60\")")
+		faultJoin   = flag.String("fault-join", "", "admit workers at a step boundary: \"w@step\" pairs, comma-separated (requires -elastic; a worker also in -fault-dead rejoins after its outage)")
 		elastic     = flag.Bool("elastic", false, "evict persistently dead workers and continue on the survivors (elastic membership)")
 		evictAfter  = flag.Int("evict-after", 0, "consecutive failed recoveries before eviction (0 = default 3; needs -elastic)")
 		resolutions = flag.String("resolutions", "", "per-epoch input-resolution schedule, e.g. \"12x12@0-4,24x24@5+\" (needs a GAP-headed model: micro-convnet | micro-resnet)")
@@ -355,9 +373,27 @@ func main() {
 			dead[w] = step
 		}
 	}
+	var join map[int]int64
+	if *faultJoin != "" {
+		if !*elastic {
+			log.Fatalf("-fault-join requires -elastic (admission is an elastic-membership move)")
+		}
+		join = make(map[int]int64)
+		for _, spec := range strings.Split(*faultJoin, ",") {
+			var w int
+			var step int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(spec), "%d@%d", &w, &step); err != nil {
+				log.Fatalf("bad -fault-join entry %q: want \"worker@step\"", spec)
+			}
+			if w <= 0 || w >= *workers {
+				log.Fatalf("-fault-join worker %d out of range (1..%d; the master is always a member)", w, *workers-1)
+			}
+			join[w] = step
+		}
+	}
 	var faults *dist.FaultPlan
-	if *dropRate > 0 || *stallRate > 0 || dead != nil {
-		faults = &dist.FaultPlan{Seed: *seed, DropRate: *dropRate, StallRate: *stallRate, Dead: dead}
+	if *dropRate > 0 || *stallRate > 0 || dead != nil || join != nil {
+		faults = &dist.FaultPlan{Seed: *seed, DropRate: *dropRate, StallRate: *stallRate, Dead: dead, Join: join}
 	}
 	var policy *dist.Elastic
 	if *elastic {
@@ -443,9 +479,11 @@ func main() {
 			100*res.Overlap.HiddenByteFrac())
 	}
 	if *elastic {
-		fmt.Printf("membership: evictions=%d rebalanced_shards=%d resync_bytes=%d world_timeline=%s\n",
-			res.Membership.Evictions, res.Membership.RebalancedShards,
-			res.Membership.RebalancedBytes, res.Membership.Timeline())
+		fmt.Printf("membership: evictions=%d joins=%d rebalanced_shards=%d resync_bytes=%d joined_bytes=%d world_timeline=%s events=%s\n",
+			res.Membership.Evictions, res.Membership.Joins,
+			res.Membership.RebalancedShards, res.Membership.RebalancedBytes,
+			res.Membership.JoinedBytes, res.Membership.Timeline(),
+			res.Membership.EventTimeline())
 	}
 	if *profile {
 		fmt.Printf("profile: %s\n", res.Profile)

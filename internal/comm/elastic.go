@@ -7,9 +7,12 @@ import "repro/internal/dist"
 // left a flat p-worker collective: the post-eviction schedule is exactly
 // the full-strength schedule at world size p−evicted, which is the analytic
 // twin of what the engine records once elastic membership shrinks the
-// fleet (cross-checked in tests). It complements ExpectedStats the way the
-// engine's eviction complements its construction: pure schedule surgery,
-// no change to the reduced values.
+// fleet (cross-checked in tests). A negative evicted counts admissions —
+// the schedule at the grown world p+joined after elastic scale-up — so one
+// closed form prices every point of a grow-shrink-grow timeline. It
+// complements ExpectedStats the way the engine's membership machine
+// complements its construction: pure schedule surgery, no change to the
+// reduced values.
 func ExpectedStatsAt(algo dist.Algorithm, p, evicted int, payloadBytes int64) dist.CommStats {
 	world := p - evicted
 	if world < 1 {
@@ -26,7 +29,9 @@ func ExpectedStatsAt(algo dist.Algorithm, p, evicted int, payloadBytes int64) di
 // leaders — a node that lost all its workers has left the leader exchange.
 // With a full fleet (h.Nodes entries of h.PerNode) this is exactly
 // ExpectedTierStats; after evictions it is the analytic twin of the
-// engine's degraded counters (cross-checked in tests).
+// engine's degraded counters, and after joins refill a node the restored
+// sizes price the re-formed tiers the same way — restoration is
+// degradation run backwards (both cross-checked in tests).
 func ExpectedDegradedTierStats(h dist.Hierarchy, sizes []int, payloadBytes int64) dist.TierStats {
 	t := dist.DegradedHierReduceSchedule(h, sizes, payloadBytes)
 	t.Add(dist.DegradedHierBroadcastSchedule(h, sizes, payloadBytes))

@@ -405,6 +405,63 @@ func TestElasticTrainingSurvivesDeadWorker(t *testing.T) {
 	}
 }
 
+// TestElasticTrainerJoinBitIdenticalToClean is the trainer-level face of
+// the scale-up contract: with the shard split pinned, a run that loses a
+// worker mid-training and readmits it later produces the exact loss/acc
+// trajectory of a clean fault-free run — the grow-shrink-grow membership
+// history is invisible to the numerics — while Result.Membership reports
+// the full eviction+join timeline.
+func TestElasticTrainerJoinBitIdenticalToClean(t *testing.T) {
+	ds := tinyDataset()
+	run := func(faults *dist.FaultPlan, elastic *dist.Elastic) *Result {
+		res, err := Train(Config{
+			Model: mlpFactory(4), Workers: 4, Shards: 4,
+			Batch: 64, Epochs: 2, Method: BaselineSGD, BaseLR: 0.1, Seed: 3,
+			Faults: faults, Elastic: elastic,
+		}, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil, nil)
+	// 8 iterations total: dead at 2, evicted closing 3 (EvictAfter 2),
+	// readmitted at the step-6 boundary — world 4,4,4,4,3,3,4,4.
+	elastic := run(
+		&dist.FaultPlan{Seed: 5, Dead: map[int]int64{3: 2}, Join: map[int]int64{3: 6}},
+		&dist.Elastic{EvictAfter: 2},
+	)
+	if len(clean.History) != len(elastic.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(clean.History), len(elastic.History))
+	}
+	for e := range clean.History {
+		a, b := clean.History[e], elastic.History[e]
+		if a.TrainLoss != b.TrainLoss {
+			t.Fatalf("epoch %d: elastic loss %v differs bitwise from clean loss %v", e, b.TrainLoss, a.TrainLoss)
+		}
+		if a.TestAcc != b.TestAcc && !(math.IsNaN(a.TestAcc) && math.IsNaN(b.TestAcc)) {
+			t.Fatalf("epoch %d: elastic acc %v differs from clean acc %v", e, b.TestAcc, a.TestAcc)
+		}
+	}
+	if clean.FinalLoss != elastic.FinalLoss || clean.TestAcc != elastic.TestAcc {
+		t.Fatalf("final results differ: (%v,%v) vs (%v,%v)",
+			elastic.FinalLoss, elastic.TestAcc, clean.FinalLoss, clean.TestAcc)
+	}
+	m := elastic.Membership
+	if m.Evictions != 1 || m.Joins != 1 {
+		t.Fatalf("evictions=%d joins=%d, want 1 and 1", m.Evictions, m.Joins)
+	}
+	if m.StepsAtWorld[4] != 6 || m.StepsAtWorld[3] != 2 {
+		t.Fatalf("world histogram %v, want 6 steps at P=4 and 2 at P=3", m.StepsAtWorld)
+	}
+	if got := m.EventTimeline(); got != "-3@4 +3@6" {
+		t.Fatalf("event timeline %q, want %q", got, "-3@4 +3@6")
+	}
+	if m.JoinedShards == 0 || m.JoinedBytes == 0 {
+		t.Fatalf("join accounting empty: %+v", m)
+	}
+}
+
 // TestDeadWorkerWithoutElasticityErrors: with elasticity off, a permanent
 // death surfaces the typed worker-dead error instead of silently retrying
 // the worker for the rest of the run.

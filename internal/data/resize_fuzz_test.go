@@ -1,0 +1,68 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseResolutionSchedule hammers the cmd/train schedule syntax: any
+// input must either parse into a schedule that satisfies the tiling
+// contract or return an error — never panic — and a parsed schedule must
+// survive a String→reparse round trip exactly (the syntax the trainer
+// prints is the syntax it accepts). The committed corpus under
+// testdata/fuzz seeds the grammar's edges — bare HxW shorthand, inclusive
+// ranges, open tails, single-epoch phases, whitespace, and the malformed
+// neighbours of each — and CI replays it on every push.
+func FuzzParseResolutionSchedule(f *testing.F) {
+	seeds := []string{
+		"24x24",                      // bare shorthand
+		"12x12@0-3,24x24@4+",         // the ENTR curriculum
+		"8x8@0+",                     // single open phase
+		"8x8@0,16x16@1+",             // single-epoch phase
+		"8x8@0-2,4x4@3-3,16x16@4+",   // three phases, one degenerate span
+		" 12x12@0-1 , 24x24@2+ ",     // whitespace tolerance
+		"",                           // empty
+		",",                          // empty parts
+		"x",                          // no dimensions
+		"0x8",                        // zero resolution
+		"-4x8",                       // negative resolution
+		"8x8@",                       // empty span
+		"8x8@+",                      // sign with no epoch
+		"8x8@3-1,1x1@2+",             // inverted range
+		"8x8@1+",                     // does not start at 0
+		"8x8@0-2,4x4@2-3",            // overlap + closed tail
+		"8x8@0+,4x4@1+",              // open phase before the end
+		"99999999999999999999x1",     // Atoi overflow
+		"8x8@0-99999999999999999999", // span overflow
+		"8x8@00-02,4x4@3+",           // leading zeros
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseResolutionSchedule(s)
+		if err != nil {
+			if sched != nil {
+				t.Fatalf("ParseResolutionSchedule(%q) returned both a schedule and error %v", s, err)
+			}
+			return
+		}
+		// A validated schedule's At is total and positive on every epoch.
+		for epoch := 0; epoch < 12; epoch++ {
+			h, w := sched.At(epoch)
+			if h <= 0 || w <= 0 {
+				t.Fatalf("ParseResolutionSchedule(%q).At(%d) = %dx%d", s, epoch, h, w)
+			}
+		}
+		// String renders back into the parse syntax, exactly.
+		rendered := sched.String()
+		again, err := ParseResolutionSchedule(rendered)
+		if err != nil {
+			t.Fatalf("round trip %q -> %q failed to reparse: %v", s, rendered, err)
+		}
+		if !reflect.DeepEqual(sched.Phases(), again.Phases()) {
+			t.Fatalf("round trip %q -> %q changed phases: %+v vs %+v",
+				s, rendered, sched.Phases(), again.Phases())
+		}
+	})
+}

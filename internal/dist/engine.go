@@ -81,14 +81,19 @@ type Config struct {
 	// Faults optionally injects deterministic drops and stalls into the
 	// reduction schedule. Recovery is exact: values are unaffected. A
 	// worker the plan marks permanently Dead never recovers — pair with
-	// Elastic, or the step loop surfaces a *WorkerDeadError.
+	// Elastic, or the step loop surfaces a *WorkerDeadError. The plan's
+	// Join map schedules workers to enter the collective mid-run (it too
+	// requires Elastic).
 	Faults *FaultPlan
 	// Elastic enables elastic membership: a worker whose recovery fails
 	// Elastic.EvictAfter consecutive steps is evicted from the collective,
 	// its shards rebalance over the surviving P−1 workers, the topology
 	// shrinks, and training continues in lockstep at the smaller world
-	// size (see the Elastic type for the full state machine and the
-	// determinism contract). nil keeps the fixed-membership behavior.
+	// size; a worker the fault plan schedules to Join enters at its step
+	// boundary the same way in reverse — warm-started by an accounted
+	// weight broadcast at the grown world (see the Elastic type for the
+	// full state machine and the determinism contract). nil keeps the
+	// fixed-membership behavior.
 	Elastic *Elastic
 }
 
@@ -109,12 +114,16 @@ type Engine struct {
 	buckets  [][2]int      // bucket coordinate ranges
 
 	// Membership state machine (see Elastic). alive marks the replicas
-	// still in the collective; world counts them. consecDead tracks each
-	// worker's consecutive failed recoveries toward eviction. shards is
-	// the current logical shard count — it follows the world size down
-	// when shardsTrack is set (Config.Shards equaled the worker count).
-	// nodes holds each hierarchy node's live members (nil when flat).
+	// currently in the collective; world counts them. started marks the
+	// replicas with a running worker goroutine (pending joiners have none
+	// yet; evicted workers' goroutines are released). consecDead tracks
+	// each worker's consecutive failed recoveries toward eviction. shards
+	// is the current logical shard count — it follows the world size down
+	// on evictions and up on joins when shardsTrack is set (Config.Shards
+	// was left zero with no codec). nodes holds each hierarchy node's
+	// live members in ascending worker order (nil when flat).
 	alive       []bool
+	started     []bool
 	world       int
 	consecDead  []int
 	shards      int
@@ -223,6 +232,23 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 				panic(fmt.Sprintf("dist: FaultPlan.Dead marks worker %d, engine has %d replicas", w, len(replicas)))
 			}
 		}
+		if len(f.Join) > 0 && cfg.Elastic == nil {
+			panic("dist: FaultPlan.Join requires Config.Elastic (joins are membership surgery)")
+		}
+		for w, s := range f.Join {
+			if w == 0 {
+				panic("dist: FaultPlan.Join cannot mark worker 0 (the master joins at construction)")
+			}
+			if w < 0 || w >= len(replicas) {
+				panic(fmt.Sprintf("dist: FaultPlan.Join marks worker %d, engine has %d replicas", w, len(replicas)))
+			}
+			if s < 1 {
+				panic(fmt.Sprintf("dist: FaultPlan.Join[%d] = %d: a join before step 1 is initial membership", w, s))
+			}
+			if d, ok := f.Dead[w]; ok && d == s {
+				panic(fmt.Sprintf("dist: FaultPlan marks worker %d both dead and joining at step %d", w, s))
+			}
+		}
 	}
 	e := &Engine{
 		cfg:         cfg,
@@ -233,7 +259,7 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 		losses:      make([]float64, cfg.Shards),
 		evalOK:      make([]int, len(replicas)),
 		alive:       make([]bool, len(replicas)),
-		world:       len(replicas),
+		started:     make([]bool, len(replicas)),
 		consecDead:  make([]int, len(replicas)),
 		shards:      cfg.Shards,
 		shardsTrack: trackWorld,
@@ -242,15 +268,33 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	if cfg.Profile {
 		kernel.SetProfiling(true)
 	}
+	// A worker the fault plan schedules to join later (and that is not a
+	// returning initial member) starts outside the collective: not alive,
+	// no goroutine, no hierarchy-node seat. admitJoins brings it in at its
+	// step boundary.
 	for w := range e.alive {
 		e.alive[w] = true
+		if f := cfg.Faults; f != nil && !f.initialMember(w) && f.Join[w] > cfg.StartStep {
+			e.alive[w] = false
+		}
+		if e.alive[w] {
+			e.world++
+		}
+	}
+	if trackWorld {
+		// The default split tracks the live world in both directions, so
+		// an engine born with pending joiners shards like the fresh
+		// smaller engine it is bit-identical to.
+		e.shards = e.world
 	}
 	e.membership.StepsAtWorld = make([]int64, len(replicas)+1)
 	if h := cfg.Topology; h != nil {
 		e.nodes = make([][]int, h.Nodes)
 		for n := range e.nodes {
 			for i := 0; i < h.PerNode; i++ {
-				e.nodes[n] = append(e.nodes[n], n*h.PerNode+i)
+				if w := n*h.PerNode + i; e.alive[w] {
+					e.nodes[n] = append(e.nodes[n], w)
+				}
 			}
 		}
 	}
@@ -280,9 +324,9 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 
 	e.jobs = make([]chan job, len(replicas))
 	for w := range replicas {
-		e.jobs[w] = make(chan job)
-		e.wg.Add(1)
-		go e.worker(w)
+		if e.alive[w] {
+			e.startWorker(w)
+		}
 	}
 	if err := e.BroadcastWeights(); err != nil {
 		panic(err) // replicas were just validated to share the architecture
@@ -423,7 +467,9 @@ func (e *Engine) Close() {
 		kernel.SetProfiling(false)
 	}
 	for w, ch := range e.jobs {
-		if e.alive[w] { // evicted workers' channels are already closed
+		// Evicted workers' channels are already closed; pending joiners
+		// that never joined have no goroutine (and no channel) at all.
+		if e.started[w] {
 			close(ch)
 		}
 	}
@@ -487,6 +533,17 @@ func (e *Engine) recordBroadcast(payloadBytes int64) {
 		return
 	}
 	e.record(broadcastSchedule(e.cfg.Algo, e.world, payloadBytes), false)
+}
+
+// startWorker gives worker w a fresh job channel and a goroutine draining
+// it — at construction for the initial members, and again when an evicted
+// (or never-started) worker joins the collective. The old goroutine, if
+// any, exited when its channel was closed by evict.
+func (e *Engine) startWorker(w int) {
+	e.jobs[w] = make(chan job)
+	e.started[w] = true
+	e.wg.Add(1)
+	go e.worker(w)
 }
 
 // worker is the lockstep loop of one persistent worker goroutine.
@@ -621,15 +678,24 @@ func (e *Engine) ComputeGradient(x *tensor.Tensor, labels []int) (float64, error
 	if err := e.checkDead(e.steps); err != nil {
 		return 0, err
 	}
-	spans := data.Spans(b, e.shards)
 	e.lastStep = CommStats{}
 	e.lastTiers = TierStats{}
 	e.lastOverlap = OverlapStats{}
 	e.lastMembership = MembershipStats{StepsAtWorld: make([]int64, len(e.replicas)+1)}
+	if e.cfg.Profile && e.profActive {
+		e.lastProfile = ProfileStats{}
+	}
+	// Membership epoch boundary (join half): workers the plan schedules to
+	// join at this step enter before the batch is sharded, so the step
+	// itself runs — and is accounted — at the grown world size, warm-started
+	// from the admission broadcast.
+	if err := e.admitJoins(); err != nil {
+		return 0, err
+	}
+	spans := data.Spans(b, e.shards)
 	var profBase [kernel.NumPhases]int64
 	var profStart int64
 	if e.cfg.Profile && e.profActive {
-		e.lastProfile = ProfileStats{}
 		profBase, profStart = kernel.ProfileSnapshot()
 	}
 	weights, live := shardWeights(spans, b)

@@ -31,8 +31,26 @@ type FaultPlan struct {
 	// succeeds: a survivor recomputes its shards (accounted as a retry
 	// plus the resend traffic) and the failed recovery counts toward
 	// Elastic.EvictAfter. Worker 0 (the master) cannot be marked dead;
-	// NewEngine rejects such plans.
+	// NewEngine rejects such plans. An entry in Join later than Dead[w]
+	// bounds the outage: the worker answers again from the join step on.
 	Dead map[int]int64
+	// Join schedules workers to enter the collective: Join[w] = s admits
+	// worker w at the step-s boundary, before step s computes — the
+	// scale-up half of the preemptible-fleet scenario. Two shapes are
+	// distinguished by Dead: a worker with no Dead entry (or one at or
+	// after its join) is a fresh replica that sits out steps [0, s) and
+	// joins cold; a worker with Dead[w] < Join[w] is an initial member
+	// whose outage ends — it returns at step s, rejoining its hierarchy
+	// node (leadership restores to the lowest live index) whether or not
+	// the outage already got it evicted. Either way the engine warm-starts
+	// it with an accounted weight broadcast at the new world size, so
+	// every post-join step is bit-identical to a fresh run at the grown
+	// world started from the broadcast weights. Joins are membership
+	// surgery, not faults: they require Config.Elastic, and Join[w] must
+	// be at least 1 (a join at step 0 is just initial membership). Worker
+	// 0 (the master) is always an initial member; NewEngine rejects plans
+	// that mark it.
+	Join map[int]int64
 }
 
 // enabled reports whether the plan can ever fire.
@@ -40,14 +58,37 @@ func (f *FaultPlan) enabled() bool {
 	return f != nil && (f.DropRate > 0 || f.StallRate > 0 || len(f.Dead) > 0)
 }
 
-// deadAt reports whether the plan marks worker w permanently unreachable at
-// the given step.
+// deadAt reports whether the plan marks worker w unreachable at the given
+// step. A Join entry later than the death bounds the outage to the window
+// [Dead[w], Join[w]) — the preemptible node that comes back.
 func (f *FaultPlan) deadAt(step int64, w int) bool {
 	if f == nil || len(f.Dead) == 0 {
 		return false
 	}
 	s, ok := f.Dead[w]
-	return ok && step >= s
+	if !ok || step < s {
+		return false
+	}
+	if j, ok := f.Join[w]; ok && j > s && step >= j {
+		return false
+	}
+	return true
+}
+
+// initialMember reports whether worker w is part of the collective at
+// construction time (as opposed to a fresh replica that joins mid-run):
+// either the plan never schedules it to join, or its join is the return
+// from an outage that started earlier (Dead[w] < Join[w]).
+func (f *FaultPlan) initialMember(w int) bool {
+	if f == nil {
+		return true
+	}
+	j, ok := f.Join[w]
+	if !ok {
+		return true
+	}
+	d, dead := f.Dead[w]
+	return dead && d < j
 }
 
 // roll returns the two fault decisions for a worker at a step. Worker 0 is

@@ -1,6 +1,9 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // DefaultEvictAfter is the eviction threshold used when Elastic.EvictAfter
 // is zero: a worker is declared dead after this many consecutive failed
@@ -14,6 +17,13 @@ const DefaultEvictAfter = 3
 //
 //	healthy --fault plan marks worker dead--> suspected
 //	suspected --recovery fails EvictAfter consecutive steps--> evicted
+//	suspected --fault plan schedules a return--> healthy (resynced)
+//	evicted --fault plan schedules a return--> healthy (rejoined)
+//	pending --join step reached--> healthy (joined)
+//
+// (pending is the state of a fresh replica whose FaultPlan.Join step has
+// not arrived yet: it holds no shards, runs no goroutine, and occupies no
+// hierarchy-node seat.)
 //
 // Eviction removes the worker from the collective at the end of the step
 // that crossed the threshold:
@@ -38,15 +48,36 @@ const DefaultEvictAfter = 3
 //     membership-epoch resynchronization), accounted — exposed — into the
 //     step's CommStats and into MembershipStats.RebalancedBytes.
 //
+// Admission is the exact mirror, at the start of the step FaultPlan.Join
+// names (so the step itself already runs at the grown world):
+//
+//   - the worker's goroutine starts (or restarts, for an evicted returner)
+//     and its gradient-notify hook is re-installed — the overlap
+//     scheduler's per-step countdowns rescale to the grown shard count
+//     automatically;
+//   - the shard split recomputes over the P+1 workers: the default
+//     world-tracking split grows to exactly the split a fresh P+1 engine
+//     would use, while pinned and codec-bearing splits keep their shard
+//     count (slot-keyed codec residuals never remap) and only reassign
+//     owners;
+//   - the topology re-forms: flat schedules re-price at P+1, and the
+//     worker takes its seat back in its Hierarchy node in ascending worker
+//     order — so a node returning from empty rejoins the inter tier, and
+//     node leadership deterministically restores to the lowest live index;
+//   - the master warm-starts the grown fleet with a weight broadcast at
+//     the new world size, accounted — exposed — into the step's CommStats
+//     and into MembershipStats.JoinedBytes.
+//
 // Determinism contract (tested at collective, engine and trainer level):
 // given the same fault plan and eviction policy, the run is bit-identical
-// across topologies, and every post-eviction step is bit-identical to a
-// fresh P−1 run started from the rebalanced weights (for a fresh run with
-// the same pinned Shards and codec state when those are set — a
-// data-dependent codec's error feedback carries across the membership
-// change exactly as it would on the surviving hardware). Eviction is pure
-// schedule surgery — the reduced values never depend on which workers
-// carried the shards.
+// across topologies; every post-eviction step is bit-identical to a fresh
+// P−1 run started from the rebalanced weights; and every post-join step is
+// bit-identical to a fresh P+1 run started from the broadcast weights (for
+// a fresh run with the same pinned Shards and codec state when those are
+// set — a data-dependent codec's error feedback carries across the
+// membership change exactly as it would on the surviving hardware).
+// Membership changes are pure schedule surgery — the reduced values never
+// depend on which workers carried the shards.
 type Elastic struct {
 	// EvictAfter is the number of consecutive failed recoveries after
 	// which a dead worker is evicted; 0 means DefaultEvictAfter. The
@@ -63,33 +94,76 @@ func (p *Elastic) evictAfter() int {
 }
 
 // MembershipStats accounts the engine's elastic-membership activity: how
-// often the world shrank, what the rebalances moved, and how many steps ran
-// at each world size. The resynchronization traffic is additionally folded
-// into the ordinary CommStats (always exposed — membership changes happen
-// at the step barrier), so Engine.StepStats reflects an eviction's full
-// schedule cost.
+// often the world shrank and grew, what the rebalances moved, and how many
+// steps ran at each world size. The resynchronization traffic is
+// additionally folded into the ordinary CommStats (always exposed —
+// membership changes happen at the step barrier), so Engine.StepStats
+// reflects a membership change's full schedule cost.
 type MembershipStats struct {
 	// Evictions is the number of workers removed from the collective.
 	Evictions int64
+	// Joins is the number of admissions: fresh replicas entering, evicted
+	// workers rejoining, and suspected workers whose outage ended before
+	// eviction (each resynchronized the same way).
+	Joins int64
 	// RebalancedShards counts the logical shards that had to find new
-	// owners: each evicted worker contributes the shards it owned in the
-	// membership assignment at eviction time.
+	// owners because the world shrank: each evicted worker contributes
+	// the shards it owned in the membership assignment at eviction time.
 	RebalancedShards int64
+	// JoinedShards counts the logical shards that moved onto admitted
+	// workers: each joiner contributes the shards it owns in the
+	// membership assignment right after admission.
+	JoinedShards int64
 	// RebalancedBytes is the wire payload of the post-eviction weight
 	// resynchronization broadcasts, as accounted by the executed schedule.
 	RebalancedBytes int64
+	// JoinedBytes is the wire payload of the post-join warm-start
+	// broadcasts, as accounted by the executed schedule at the grown
+	// world size.
+	JoinedBytes int64
 	// StepsAtWorld counts completed gradient steps by world size:
 	// StepsAtWorld[p] steps ran with p live workers. The slice is sized
-	// initial-workers+1; entries above the current world size stop
-	// growing as evictions shrink the fleet.
+	// initial-workers+1; evictions and joins move steps between entries,
+	// never past the replica count.
 	StepsAtWorld []int64
+	// Events is the membership timeline: one entry per eviction or
+	// admission, in the order they happened (Step is nondecreasing).
+	Events []MembershipEvent
 }
 
-// Add accumulates o into m, growing the world histogram as needed.
+// MembershipEvent is one entry of the membership timeline: a worker
+// leaving or entering the collective at a step boundary.
+type MembershipEvent struct {
+	// Step is the first step the changed membership is in effect for.
+	Step int64
+	// Worker is the worker that left or entered.
+	Worker int
+	// Join is true for admissions, false for evictions.
+	Join bool
+	// World is the world size after the change.
+	World int
+}
+
+// String renders the event compactly: "+3@12" is worker 3 joining in time
+// for step 12, "-3@12" worker 3 evicted from step 12 on.
+func (ev MembershipEvent) String() string {
+	sign := "-"
+	if ev.Join {
+		sign = "+"
+	}
+	return fmt.Sprintf("%s%d@%d", sign, ev.Worker, ev.Step)
+}
+
+// Add accumulates o into m, growing the world histogram as needed and
+// appending o's timeline entries (chronological as long as the summands
+// are added in order, the way the trainer accumulates epochs).
 func (m *MembershipStats) Add(o MembershipStats) {
 	m.Evictions += o.Evictions
+	m.Joins += o.Joins
 	m.RebalancedShards += o.RebalancedShards
+	m.JoinedShards += o.JoinedShards
 	m.RebalancedBytes += o.RebalancedBytes
+	m.JoinedBytes += o.JoinedBytes
 	if len(o.StepsAtWorld) > len(m.StepsAtWorld) {
 		grown := make([]int64, len(o.StepsAtWorld))
 		copy(grown, m.StepsAtWorld)
@@ -98,6 +172,24 @@ func (m *MembershipStats) Add(o MembershipStats) {
 	for p, s := range o.StepsAtWorld {
 		m.StepsAtWorld[p] += s
 	}
+	m.Events = append(m.Events, o.Events...)
+}
+
+// EventTimeline renders the membership events in order, e.g. "-3@4 +3@9"
+// for worker 3 evicted from step 4 and readmitted at step 9; "-" when the
+// membership never changed.
+func (m MembershipStats) EventTimeline() string {
+	if len(m.Events) == 0 {
+		return "-"
+	}
+	out := ""
+	for i, ev := range m.Events {
+		if i > 0 {
+			out += " "
+		}
+		out += ev.String()
+	}
+	return out
 }
 
 // Steps returns the total steps across all world sizes.
@@ -145,13 +237,30 @@ func (e *WorkerDeadError) Error() string {
 	return fmt.Sprintf("dist: worker %d is permanently dead at step %d and Config.Elastic is unset: cannot recover its shards (evict it by enabling elastic membership)", e.Worker, e.Step)
 }
 
-// LiveWorkers returns the current world size: the replicas still in the
-// collective. It equals Workers() until an eviction shrinks the fleet.
+// LiveWorkers returns the current world size: the replicas currently in
+// the collective. It equals Workers() until evictions shrink the fleet or
+// pending joiners mean some replicas have not entered yet.
 func (e *Engine) LiveWorkers() int { return e.world }
 
 // Shards returns the current logical shard count. It equals Config.Shards
-// until elastic evictions rebalance a world-tracking shard split down.
+// until elastic evictions (joins) rebalance a world-tracking shard split
+// down (up); pinned and codec-bearing splits never move.
 func (e *Engine) Shards() int { return e.shards }
+
+// ShardOwners returns the owner of every logical shard slot in the
+// assignment the next step would use: shard s is computed by worker
+// ShardOwners()[s]. Every shard always has exactly one live owner and the
+// per-worker load stays within one shard of even — the conservation
+// invariant the membership property tests pin across arbitrary evict/join
+// sequences.
+func (e *Engine) ShardOwners() []int {
+	active := e.activeIDs(e.steps)
+	owners := make([]int, e.shards)
+	for s := range owners {
+		owners[s] = active[s%len(active)]
+	}
+	return owners
+}
 
 // Membership returns the cumulative elastic-membership accounting.
 func (e *Engine) Membership() MembershipStats { return e.membership }
@@ -319,6 +428,7 @@ func (e *Engine) evict(w int) {
 	e.lastMembership.RebalancedShards += owned
 
 	e.alive[w] = false
+	e.started[w] = false
 	e.world--
 	close(e.jobs[w])
 	if e.cfg.Overlap {
@@ -332,4 +442,92 @@ func (e *Engine) evict(w int) {
 			}
 		}
 	}
+	// The eviction takes effect for the next step — e.steps was already
+	// advanced past the step whose failed recovery crossed the threshold.
+	ev := MembershipEvent{Step: e.steps, Worker: w, Join: false, World: e.world}
+	e.membership.Events = append(e.membership.Events, ev)
+	e.lastMembership.Events = append(e.lastMembership.Events, ev)
+}
+
+// admitJoins runs the admission side of the membership state machine at a
+// step boundary, before the step's batch is sharded: every worker the
+// fault plan schedules to join at this step enters the collective
+// (worker-index order, for determinism), the shard split and topology are
+// rebuilt over the grown fleet, and the master warm-starts it with an
+// accounted weight broadcast at the new world size. No-op unless the plan
+// names this step.
+func (e *Engine) admitJoins() error {
+	f := e.cfg.Faults
+	if f == nil || len(f.Join) == 0 {
+		return nil
+	}
+	var joiners []int
+	for w := 1; w < len(e.replicas); w++ {
+		if s, ok := f.Join[w]; ok && s == e.steps {
+			e.admit(w)
+			joiners = append(joiners, w)
+		}
+	}
+	if len(joiners) == 0 {
+		return nil
+	}
+	// One membership epoch per step, mirroring evictDead: grow a
+	// world-tracking shard split to the new world, count the shards that
+	// land on the joiners under the new assignment, then resynchronize
+	// the fleet from the master. The broadcast runs at the grown world
+	// size and is accounted (exposed) like any other barrier traffic,
+	// with its payload also filed under JoinedBytes.
+	if e.shardsTrack {
+		e.shards = e.world
+	}
+	active := e.activeIDs(e.steps)
+	for _, w := range joiners {
+		var gained int64
+		for s := 0; s < e.shards; s++ {
+			if active[s%len(active)] == w {
+				gained++
+			}
+		}
+		e.membership.JoinedShards += gained
+		e.lastMembership.JoinedShards += gained
+	}
+	before := e.stats.Bytes
+	if err := e.BroadcastWeights(); err != nil {
+		return err
+	}
+	moved := e.stats.Bytes - before
+	e.membership.JoinedBytes += moved
+	e.lastMembership.JoinedBytes += moved
+	return nil
+}
+
+// admit brings worker w into the collective at the current step boundary:
+// a pending or evicted worker gets a fresh goroutine, its gradient-notify
+// hook (when overlapping) and its hierarchy-node seat back — members stay
+// in ascending worker order, so node leadership deterministically restores
+// to the lowest live index, and a node returning from empty rejoins the
+// inter tier. A still-live suspected worker whose outage just ended only
+// needs its failure counter cleared (the caller's broadcast resyncs its
+// weights). Either way the admission is counted and filed on the timeline.
+func (e *Engine) admit(w int) {
+	e.consecDead[w] = 0
+	if !e.alive[w] {
+		e.alive[w] = true
+		e.world++
+		e.startWorker(w)
+		if e.cfg.Overlap {
+			e.replicas[w].SetGradNotify(func(param int) { e.gradReady(w, param) })
+		}
+		if e.nodes != nil {
+			n := w / e.cfg.Topology.PerNode
+			members := e.nodes[n]
+			i := sort.SearchInts(members, w)
+			e.nodes[n] = append(members[:i:i], append([]int{w}, members[i:]...)...)
+		}
+	}
+	e.membership.Joins++
+	e.lastMembership.Joins++
+	ev := MembershipEvent{Step: e.steps, Worker: w, Join: true, World: e.world}
+	e.membership.Events = append(e.membership.Events, ev)
+	e.lastMembership.Events = append(e.lastMembership.Events, ev)
 }

@@ -1,0 +1,164 @@
+package dist_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestMembershipGridBitIdentical is the membership acceptance grid (the
+// PR 8 resolution-grid pattern applied to elastic scale): join-after-evict
+// and evict-after-join scenarios, across central/tree/ring/hier(2x2) ×
+// overlap on/off × f32/f16, with every post-transition step required to be
+// bit-identical to a fresh engine at that world size started from the
+// current master weights. The fresh comparators run flat, non-overlapped
+// central schedules — the engine's values contract says topology, overlap
+// and membership history are all invisible to the numerics, so one
+// comparator per (precision, world) covers the whole grid row.
+func TestMembershipGridBitIdentical(t *testing.T) {
+	x, labels, _ := testTask(48)
+	hier := dist.NewHierarchy(2, 2)
+	// The grid trains MicroConvNet: the bit-identity contract needs a model
+	// that is a pure function of its weights, and MicroConvNet deliberately
+	// has no dropout RNG or BN batch statistics to smuggle replica-local
+	// state past CopyWeightsFrom.
+	mkFactory := func(p tensor.Precision) func(uint64) *nn.Network {
+		return func(seed uint64) *nn.Network {
+			net := models.NewMicroConvNet(models.MicroConfig{Classes: 4, InH: 8, InW: 8, Width: 4, Seed: seed})
+			if p != tensor.F32 {
+				net.SetPrecision(p)
+			}
+			return net
+		}
+	}
+	nparams := mkFactory(tensor.F32)(1).NumParams()
+
+	// freshAt builds a flat fresh engine at the given world size whose
+	// master weights equal the elastic engine's current ones.
+	freshAt := func(world int, factory func(uint64) *nn.Network, master *nn.Network) *dist.Engine {
+		replicas := make([]*nn.Network, world)
+		for i := range replicas {
+			replicas[i] = factory(900 + uint64(i)*7919)
+		}
+		replicas[0].CopyWeightsFrom(master)
+		return dist.NewEngine(dist.Config{Algo: dist.Central}, replicas)
+	}
+	compareStep := func(t *testing.T, label string, step int, elastic, fresh *dist.Engine) {
+		t.Helper()
+		gotLoss := stepOnce(t, elastic, x, labels)
+		wantLoss := stepOnce(t, fresh, x, labels)
+		if gotLoss != wantLoss {
+			t.Fatalf("%s step %d: loss %v differs bitwise from the fresh engine's %v", label, step, gotLoss, wantLoss)
+		}
+		got, want := flatGrad(elastic), flatGrad(fresh)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s step %d: grad coord %d differs from the fresh engine", label, step, i)
+			}
+		}
+	}
+
+	type scenario struct {
+		name string
+		plan *dist.FaultPlan
+		// run drives the elastic engine through its transitions, building
+		// fresh comparators at each post-transition world size.
+		run func(t *testing.T, label string, e *dist.Engine, factory func(uint64) *nn.Network)
+	}
+	scenarios := []scenario{
+		{
+			name: "join-after-evict",
+			plan: &dist.FaultPlan{Dead: map[int]int64{3: 1}, Join: map[int]int64{3: 3}},
+			run: func(t *testing.T, label string, e *dist.Engine, factory func(uint64) *nn.Network) {
+				// Steps 0-1 at world 4 (worker 3 dead at 1, evicted
+				// closing step 1), step 2 at world 3, steps 3-4 back at 4.
+				stepOnce(t, e, x, labels)
+				stepOnce(t, e, x, labels)
+				if e.LiveWorkers() != 3 {
+					t.Fatalf("%s: world %d after eviction, want 3", label, e.LiveWorkers())
+				}
+				fresh3 := freshAt(3, factory, e.Master())
+				defer fresh3.Close()
+				compareStep(t, label, 2, e, fresh3)
+				fresh4 := freshAt(4, factory, e.Master())
+				defer fresh4.Close()
+				compareStep(t, label, 3, e, fresh4)
+				compareStep(t, label, 4, e, fresh4)
+				if e.LiveWorkers() != 4 {
+					t.Fatalf("%s: world %d after rejoin, want 4", label, e.LiveWorkers())
+				}
+			},
+		},
+		{
+			name: "evict-after-join",
+			plan: &dist.FaultPlan{Dead: map[int]int64{2: 3}, Join: map[int]int64{3: 2}},
+			run: func(t *testing.T, label string, e *dist.Engine, factory func(uint64) *nn.Network) {
+				// Steps 0-1 at world 3 (worker 3 pending), steps 2-3 at
+				// world 4 (worker 2 dead at 3, recovered in place — the
+				// split is unchanged until the eviction closes the step),
+				// step 4 at world 3 again.
+				if e.LiveWorkers() != 3 {
+					t.Fatalf("%s: world %d before join, want 3 (pending joiner)", label, e.LiveWorkers())
+				}
+				stepOnce(t, e, x, labels)
+				stepOnce(t, e, x, labels)
+				fresh4 := freshAt(4, factory, e.Master())
+				defer fresh4.Close()
+				compareStep(t, label, 2, e, fresh4)
+				compareStep(t, label, 3, e, fresh4)
+				if e.LiveWorkers() != 3 {
+					t.Fatalf("%s: world %d after eviction, want 3", label, e.LiveWorkers())
+				}
+				fresh3 := freshAt(3, factory, e.Master())
+				defer fresh3.Close()
+				compareStep(t, label, 4, e, fresh3)
+			},
+		},
+	}
+
+	topologies := []struct {
+		name string
+		algo dist.Algorithm
+		topo *dist.Hierarchy
+	}{
+		{"central", dist.Central, nil},
+		{"tree", dist.Tree, nil},
+		{"ring", dist.Ring, nil},
+		{"hier 2x2", dist.Tree, &hier},
+	}
+	for _, sc := range scenarios {
+		for _, tc := range topologies {
+			for _, overlap := range []bool{false, true} {
+				for _, p := range []tensor.Precision{tensor.F32, tensor.F16} {
+					label := fmt.Sprintf("%s/%s/overlap=%v/%s", sc.name, tc.name, overlap, p)
+					factory := mkFactory(p)
+					bucket := 0
+					if overlap {
+						bucket = nparams/4 + 1
+					}
+					// Copy the plan maps: the engine validates them but the
+					// scenarios are shared across the grid.
+					plan := &dist.FaultPlan{Dead: map[int]int64{}, Join: map[int]int64{}}
+					for w, s := range sc.plan.Dead {
+						plan.Dead[w] = s
+					}
+					for w, s := range sc.plan.Join {
+						plan.Join[w] = s
+					}
+					e := newEngine(dist.Config{
+						Algo: tc.algo, Topology: tc.topo,
+						BucketElems: bucket, Overlap: overlap,
+						Faults:  plan,
+						Elastic: &dist.Elastic{EvictAfter: 1},
+					}, 4, factory)
+					sc.run(t, label, e, factory)
+					e.Close()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package dist_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// membershipScenario is one randomized elastic run: a worker count, an
+// eviction policy, and a fault plan mixing deaths, returns and fresh
+// joiners. testing/quick generates them via Generate below.
+type membershipScenario struct {
+	Workers    int
+	EvictAfter int
+	Steps      int
+	Algo       dist.Algorithm
+	Dead       map[int]int64
+	Join       map[int]int64
+}
+
+// Generate draws a random but always-valid scenario: worker 0 stays the
+// master, deaths land inside the run, returns land strictly after their
+// death, fresh joiners enter from step 1 on (possibly dying afterwards).
+func (membershipScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	sc := membershipScenario{
+		Workers:    2 + r.Intn(4), // 2..5
+		EvictAfter: 1 + r.Intn(2),
+		Steps:      6 + r.Intn(6), // 6..11
+		Algo:       []dist.Algorithm{dist.Central, dist.Tree, dist.Ring}[r.Intn(3)],
+		Dead:       map[int]int64{},
+		Join:       map[int]int64{},
+	}
+	for w := 1; w < sc.Workers; w++ {
+		switch r.Intn(3) {
+		case 0: // healthy throughout
+		case 1: // initial member that dies, and maybe returns
+			d := int64(r.Intn(sc.Steps - 1))
+			sc.Dead[w] = d
+			if r.Intn(2) == 0 {
+				sc.Join[w] = d + 1 + int64(r.Intn(sc.Steps))
+			}
+		case 2: // fresh joiner, maybe preempted after entering
+			j := int64(1 + r.Intn(sc.Steps))
+			sc.Join[w] = j
+			if r.Intn(2) == 0 {
+				sc.Dead[w] = j + 1 + int64(r.Intn(3))
+			}
+		}
+	}
+	return reflect.ValueOf(sc)
+}
+
+// initiallyIn mirrors the engine's construction rule: a worker starts in
+// the collective unless its join is a fresh entry still pending at step 0.
+func (sc membershipScenario) initiallyIn(w int) bool {
+	j, joins := sc.Join[w]
+	if !joins {
+		return true
+	}
+	d, dies := sc.Dead[w]
+	return dies && d < j
+}
+
+// TestMembershipProperties drives random evict/join sequences through the
+// engine and checks the invariants no schedule surgery may break: every
+// shard is owned by exactly one in-range worker with the load within one
+// shard of even, the StepsAtWorld histogram sums to the total step count,
+// Timeline() is monotone (worlds strictly decreasing, positive counts),
+// and the event timeline replays to a consistent world-size trajectory.
+func TestMembershipProperties(t *testing.T) {
+	x, labels, factory := testTask(30)
+	property := func(sc membershipScenario) bool {
+		e := newEngine(dist.Config{
+			Algo:    sc.Algo,
+			Faults:  &dist.FaultPlan{Dead: sc.Dead, Join: sc.Join},
+			Elastic: &dist.Elastic{EvictAfter: sc.EvictAfter},
+		}, sc.Workers, factory)
+		defer e.Close()
+		for step := 0; step < sc.Steps; step++ {
+			stepOnce(t, e, x, labels)
+			if e.LiveWorkers() < 1 || e.Shards() < 1 {
+				t.Logf("%+v: step %d left world %d shards %d", sc, step, e.LiveWorkers(), e.Shards())
+				return false
+			}
+			owners := e.ShardOwners()
+			if len(owners) != e.Shards() {
+				t.Logf("%+v: step %d: %d owners for %d shards", sc, step, len(owners), e.Shards())
+				return false
+			}
+			counts := map[int]int{}
+			for s, w := range owners {
+				if w < 0 || w >= sc.Workers {
+					t.Logf("%+v: step %d: shard %d owned by out-of-range worker %d", sc, step, s, w)
+					return false
+				}
+				counts[w]++
+			}
+			if len(counts) > e.LiveWorkers() {
+				t.Logf("%+v: step %d: %d distinct owners exceed world %d", sc, step, len(counts), e.LiveWorkers())
+				return false
+			}
+			minC, maxC := sc.Steps*sc.Workers, 0
+			for _, c := range counts {
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if maxC-minC > 1 {
+				t.Logf("%+v: step %d: shard load unbalanced: %v", sc, step, counts)
+				return false
+			}
+		}
+
+		m := e.Membership()
+		if m.Steps() != int64(sc.Steps) {
+			t.Logf("%+v: histogram sums to %d steps, engine ran %d", sc, m.Steps(), sc.Steps)
+			return false
+		}
+		prevWorld := sc.Workers + 1
+		var total int64
+		for _, field := range strings.Fields(m.Timeline()) {
+			var p int
+			var n int64
+			if _, err := fmt.Sscanf(field, "%dx%d", &p, &n); err != nil {
+				t.Logf("%+v: unparseable timeline field %q", sc, field)
+				return false
+			}
+			if p >= prevWorld || n < 1 {
+				t.Logf("%+v: timeline %q is not monotone", sc, m.Timeline())
+				return false
+			}
+			prevWorld = p
+			total += n
+		}
+		if total != m.Steps() {
+			t.Logf("%+v: timeline %q sums to %d, histogram says %d", sc, m.Timeline(), total, m.Steps())
+			return false
+		}
+
+		// Replay the event timeline against an independent membership
+		// model: steps nondecreasing, no double evictions, world sizes
+		// consistent after every event.
+		in := map[int]bool{0: true}
+		world := 1
+		for w := 1; w < sc.Workers; w++ {
+			in[w] = sc.initiallyIn(w)
+			if in[w] {
+				world++
+			}
+		}
+		var prevStep int64
+		for _, ev := range m.Events {
+			if ev.Step < prevStep {
+				t.Logf("%+v: event timeline %q not monotone in step", sc, m.EventTimeline())
+				return false
+			}
+			prevStep = ev.Step
+			if ev.Join {
+				if !in[ev.Worker] {
+					in[ev.Worker] = true
+					world++
+				}
+			} else {
+				if !in[ev.Worker] {
+					t.Logf("%+v: event %v evicts a worker that was already out", sc, ev)
+					return false
+				}
+				in[ev.Worker] = false
+				world--
+			}
+			if ev.World != world {
+				t.Logf("%+v: event %v reports world %d, replay says %d", sc, ev, ev.World, world)
+				return false
+			}
+		}
+		if world != e.LiveWorkers() {
+			t.Logf("%+v: replayed world %d != engine world %d", sc, world, e.LiveWorkers())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

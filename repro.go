@@ -245,16 +245,22 @@ type (
 	ProfileStats = dist.ProfileStats
 	// FaultPlan injects deterministic drops/stalls into the engine's
 	// reduction schedule; recovery is exact. Workers it marks permanently
-	// Dead never recover — pair with ElasticPolicy.
+	// Dead never recover — pair with ElasticPolicy — and Join admits
+	// workers (fresh or returning) at a step boundary.
 	FaultPlan = dist.FaultPlan
 	// ElasticPolicy enables elastic membership: a worker whose recovery
 	// fails EvictAfter consecutive steps is evicted, its shards rebalance
 	// over the surviving P−1 workers, and training continues at the
-	// smaller world size.
+	// smaller world size; FaultPlan.Join runs the machine the other way,
+	// admitting workers warm-started from a weight broadcast.
 	ElasticPolicy = dist.Elastic
 	// MembershipStats accounts elastic-membership activity: evictions,
-	// rebalanced shards and resync bytes, and steps per world size.
+	// joins, rebalanced/joined shards and bytes, steps per world size,
+	// and the signed membership event timeline.
 	MembershipStats = dist.MembershipStats
+	// MembershipEvent is one signed membership transition ("+3@12" is
+	// worker 3 joining at step 12) in MembershipStats.Events.
+	MembershipEvent = dist.MembershipEvent
 	// WorkerDeadError is the typed error a permanently dead worker
 	// surfaces when elastic membership is disabled.
 	WorkerDeadError = dist.WorkerDeadError
@@ -351,6 +357,29 @@ type ElasticEstimate = cluster.ElasticEstimate
 // per-phase timeline plus the time-to-accuracy cost versus a healthy fleet.
 func SimulateElastic(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, evictAtFrac []float64) ElasticEstimate {
 	return cluster.SimulateElastic(c, spec, batch, epochs, datasetSize, evictAtFrac)
+}
+
+// AutoscalePolicy is the control law the autoscaler replays a traffic
+// trace through: target-utilization and/or queue-depth driven, with
+// min/max bounds, per-decision step and cooldown hysteresis.
+type AutoscalePolicy = cluster.AutoscalePolicy
+
+// TrafficPoint is one interval of an autoscaler trace: offered load plus
+// devices preempted out from under the fleet.
+type TrafficPoint = cluster.TrafficPoint
+
+// AutoscaleEstimate reports an autoscaler replay: world-size timeline,
+// membership churn, reaction time, per-phase closed-form comm schedules
+// and the dollar cost against the static-max fleet.
+type AutoscaleEstimate = cluster.AutoscaleEstimate
+
+// SimulateAutoscale replays a traffic/preemption trace through the
+// autoscaling control plane: each interval the fleet absorbs preemptions,
+// serves the offered load (queueing the excess), and the policy decides
+// the next world size, priced with the same per-iteration phase costs
+// SimulateElastic uses.
+func SimulateAutoscale(c ClusterConfig, spec *ModelSpec, batch int, intervalSec float64, trace []TrafficPoint, pol AutoscalePolicy) AutoscaleEstimate {
+	return cluster.SimulateAutoscale(c, spec, batch, intervalSec, trace, pol)
 }
 
 // ProgressiveEstimate prices a run under a resolution schedule.
