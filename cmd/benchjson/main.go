@@ -30,6 +30,9 @@ type Benchmark struct {
 	MBPerS     float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units beyond the standard four —
+	// e.g. the local-SGD sweep's "img/s" and "commMB/step" columns.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup pairs an f32 baseline with its f16 counterpart.
@@ -138,6 +141,11 @@ func parse(r io.Reader) (*Report, error) {
 				bm.BytesPerOp = v
 			case "allocs/op":
 				bm.AllocsOp = v
+			default:
+				if bm.Extra == nil {
+					bm.Extra = make(map[string]float64)
+				}
+				bm.Extra[fields[i+1]] = v
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, bm)

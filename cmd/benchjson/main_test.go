@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkGemm/square/256x256x256/f32-8         	      50	   7121087 ns/op	4711.98 MB/s
 BenchmarkGemm/square/256x256x256/f16-8         	     195	   1774555 ns/op	18908.64 MB/s
 BenchmarkReduction/pairwise-f32-8              	     433	    774181 ns/op	10835.46 MB/s
+BenchmarkLocalSGD/H4-8                         	    1000	      1042 ns/op	       0 B/op	       0 allocs/op	   2175432 img/s	     24.41 commMB/step
 some unrelated line
 PASS
 ok  	repro/internal/kernel	3.848s
@@ -25,8 +26,8 @@ func TestParse(t *testing.T) {
 	if rep.Goos != "linux" || rep.Pkg != "repro/internal/kernel" {
 		t.Fatalf("context not parsed: %+v", rep)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 	bm := rep.Benchmarks[0]
 	if bm.Name != "BenchmarkGemm/square/256x256x256/f32" || bm.Iterations != 50 || bm.NsPerOp != 7121087 || bm.MBPerS != 4711.98 {
@@ -36,6 +37,14 @@ func TestParse(t *testing.T) {
 	// GOMAXPROCS suffix; only the numeric "-8" must be trimmed.
 	if rep.Benchmarks[2].Name != "BenchmarkReduction/pairwise-f32" {
 		t.Fatalf("procs suffix trimmed wrong: %q", rep.Benchmarks[2].Name)
+	}
+	// Custom ReportMetric units land in Extra instead of being dropped.
+	lsgd := rep.Benchmarks[3]
+	if lsgd.Name != "BenchmarkLocalSGD/H4" || lsgd.Extra["img/s"] != 2175432 || lsgd.Extra["commMB/step"] != 24.41 {
+		t.Fatalf("custom metrics parsed wrong: %+v", lsgd)
+	}
+	if rep.Benchmarks[0].Extra != nil {
+		t.Fatalf("standard-unit benchmark grew an Extra map: %+v", rep.Benchmarks[0])
 	}
 	if len(rep.Speedups) != 1 {
 		t.Fatalf("found %d speedup pairs, want 1", len(rep.Speedups))

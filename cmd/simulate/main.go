@@ -35,6 +35,16 @@
 //	simulate -model resnet50 -batch 32768 -nodes 64 -machine knl \
 //	         -epochs 90 -evict 0.25,0.5
 //
+// -sync-sweep prices the local-SGD tradeoff: a comma-separated list of
+// synchronization periods H (e.g. "1,2,4,8"), each priced with the same
+// compute model but the allreduce paid only every H-th step
+// (cluster.SimulateLocalSGD) — communication volume exactly 1/H of the
+// every-step run, throughput climbing toward the compute-bound ceiling.
+// The ResNet-50/KNL configuration of the paper's Table 8, swept:
+//
+//	simulate -model resnet50 -batch 32768 -nodes 2048 -machine knl \
+//	         -epochs 90 -sync-sweep 1,2,4,8,16
+//
 // -autoscale replays a traffic/preemption trace through the autoscaling
 // control plane (cluster.SimulateAutoscale) instead of pricing a fixed
 // run. The trace is a comma-separated list of "LOADxN" segments — N
@@ -84,6 +94,7 @@ func main() {
 		obuckets   = flag.Int("overlap-buckets", 0, "gradient buckets for the overlap pipeline (0 = default 16)")
 		sweep      = flag.Bool("sweep", false, "sweep node counts 1x..16x and print the scaling curve")
 		evict      = flag.String("evict", "", "degrading fleet: comma-separated run fractions, one device lost at each (e.g. \"0.25,0.5\")")
+		syncSweep  = flag.String("sync-sweep", "", "local-SGD sweep: comma-separated synchronization periods H (e.g. \"1,2,4,8\"); allreduce paid every H-th step")
 		autoscale  = flag.String("autoscale", "", "replay a traffic trace through the autoscaler: \"LOADxN[!P]\" segments, LOAD relative to the healthy fleet (e.g. \"0.3x4,1.5x8!1,0.3x8\")")
 		targetUtil = flag.Float64("target-util", 0.8, "autoscaler utilization target (0 disables the utilization rule)")
 		maxBacklog = flag.Float64("max-backlog", 0, "autoscaler backlog SLO in seconds (0 disables the queue-depth rule)")
@@ -254,6 +265,28 @@ func main() {
 		fmt.Printf("  healthy fleet:  %s (%.0f img/s)\n", el.Healthy.Duration().Round(1e9), el.Healthy.ImagesSec)
 		fmt.Printf("  degraded fleet: %s (%.0f img/s avg), time-to-accuracy +%.1f%%\n",
 			el.Duration().Round(1e9), el.ImagesSec, el.SlowdownPct())
+	}
+
+	if *syncSweep != "" {
+		var hs []int
+		for _, s := range strings.Split(*syncSweep, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || h < 1 {
+				log.Fatalf("bad -sync-sweep period %q: want integers >= 1", s)
+			}
+			hs = append(hs, h)
+		}
+		curve := cluster.LocalSGDCurve(buildCluster(*nodes), spec, *batch, *epochs, *dataset, hs)
+		fmt.Printf("\nlocal-SGD sweep (weight average every H steps; comm volume scales as 1/H):\n")
+		fmt.Printf("  %-6s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+			"H", "rounds", "step", "img/s", "total", "speedup", "comm GB")
+		for _, p := range curve {
+			fmt.Printf("  %-6d %-12d %-12s %-12.0f %-12s %-10s %-10.1f\n",
+				p.SyncEvery, p.SyncRounds,
+				fmt.Sprintf("%.4fs", p.StepSec), p.ImagesSec,
+				p.Duration().Round(1e9), fmt.Sprintf("%.2fx", p.Speedup),
+				float64(p.Comm.Bytes)/(1<<30))
+		}
 	}
 
 	if *autoscale != "" {

@@ -92,6 +92,39 @@
 // classifier and are rejected. The per-epoch report gains a res column, and
 // cluster.SimulateProgressive prices the same schedule analytically.
 //
+// # Local SGD (trading communication for computation)
+//
+// -sync-every H switches the engine from every-step gradient allreduce to
+// local SGD: every worker runs H private optimizer steps — the same recipe
+// as the master, momentum SGD or LARS per -method — on its own shard
+// gradients, and the fleet averages weights only at every H-th step. The
+// communication volume scales by exactly 1/H (the final report's comm
+// counters match comm.ExpectedLocalSGDStats counter-for-counter), bought
+// with inter-sync weight drift; H=1 is bit-identical to not passing the
+// flag at all. With -per-node set, -intra-sync-every Hi adds cheap
+// intra-node weight averages every Hi steps between the rare full rounds
+// (Hi must divide H), attributed to the intra tier in the tiers line.
+// Elastic membership composes: evictions and joins land only on window
+// boundaries, the sole steps at which the fleet is weight-coherent.
+//
+// Worked comm-bound example: micro-alexnet at width 8 carries ~0.18M
+// parameters, so one ring round at P=4 moves ~2.6 MB through the engine
+// (2(P−1)/P reduce + broadcast legs per worker). At batch 256 a step
+// computes in a few ms, so on a slow fabric the allreduce dominates the
+// step; -sync-every 8 cuts the wire volume 8x and turns the run
+// compute-bound while the loss trajectory stays within the drift budget
+// the LocalSGD study tables (EXPERIMENTS.md) quantify:
+//
+//	train -model micro-alexnet -batch 256 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -algo ring -sync-every 8
+//
+// The hierarchical schedule on a simulated two-node cluster — intra-node
+// averages every 2 steps on the cheap fabric, full averages every 8:
+//
+//	train -model micro-alexnet -batch 256 -epochs 15 -method lars \
+//	      -warmup 2 -workers 4 -per-node 2 -algo tree \
+//	      -sync-every 8 -intra-sync-every 2
+//
 // # Elastic membership (preemptible fleets)
 //
 // -fault-dead kills workers permanently: "3@40" makes worker 3 answer
@@ -234,6 +267,8 @@ func main() {
 		faultJoin   = flag.String("fault-join", "", "admit workers at a step boundary: \"w@step\" pairs, comma-separated (requires -elastic; a worker also in -fault-dead rejoins after its outage)")
 		elastic     = flag.Bool("elastic", false, "evict persistently dead workers and continue on the survivors (elastic membership)")
 		evictAfter  = flag.Int("evict-after", 0, "consecutive failed recoveries before eviction (0 = default 3; needs -elastic)")
+		syncEvery   = flag.Int("sync-every", 0, "local SGD period H: private optimizer steps between weight averages (0/1 = synchronous every-step path)")
+		intraSync   = flag.Int("intra-sync-every", 0, "intra-node weight-average period Hi under -per-node (must divide -sync-every; 0 = off)")
 		resolutions = flag.String("resolutions", "", "per-epoch input-resolution schedule, e.g. \"12x12@0-4,24x24@5+\" (needs a GAP-headed model: micro-convnet | micro-resnet)")
 		width       = flag.Int("width", 8, "model base width")
 		augment     = flag.Bool("augment", false, "enable weak data augmentation")
@@ -312,6 +347,18 @@ func main() {
 		topology = &dist.Hierarchy{
 			Nodes: *workers / *perNode, PerNode: *perNode,
 			Intra: parseAlgo(*intraAlgo), Inter: a,
+		}
+	}
+
+	if *syncEvery < 0 {
+		log.Fatalf("-sync-every %d must be >= 0", *syncEvery)
+	}
+	if *intraSync > 0 {
+		if topology == nil {
+			log.Fatal("-intra-sync-every needs -per-node (the intra tier averages inside a node)")
+		}
+		if *syncEvery <= 1 || *syncEvery%*intraSync != 0 {
+			log.Fatalf("-intra-sync-every %d must divide -sync-every %d (> 1)", *intraSync, *syncEvery)
 		}
 	}
 
@@ -403,31 +450,33 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Model:        factory,
-		Workers:      *workers,
-		Algo:         a,
-		Topology:     topology,
-		Shards:       *shards,
-		Bucket:       *bucket,
-		Overlap:      *overlap,
-		Reduction:    reductionPolicy,
-		Profile:      *profile,
-		Precision:    prec,
-		LossScale:    *lossScale,
-		Codec:        payloadCodec,
-		Faults:       faults,
-		Elastic:      policy,
-		Batch:        *batch,
-		Epochs:       *epochs,
-		Method:       m,
-		BaseLR:       *baseLR,
-		BaseBatch:    *baseBatch,
-		WarmupEpochs: *warmup,
-		Trust:        *trust,
-		WeightDecay:  *wd,
-		Augment:      *augment,
-		Resolutions:  sched,
-		Seed:         *seed,
+		Model:          factory,
+		Workers:        *workers,
+		Algo:           a,
+		Topology:       topology,
+		Shards:         *shards,
+		Bucket:         *bucket,
+		Overlap:        *overlap,
+		Reduction:      reductionPolicy,
+		Profile:        *profile,
+		Precision:      prec,
+		LossScale:      *lossScale,
+		Codec:          payloadCodec,
+		Faults:         faults,
+		Elastic:        policy,
+		Batch:          *batch,
+		Epochs:         *epochs,
+		Method:         m,
+		BaseLR:         *baseLR,
+		BaseBatch:      *baseBatch,
+		WarmupEpochs:   *warmup,
+		Trust:          *trust,
+		WeightDecay:    *wd,
+		Augment:        *augment,
+		Resolutions:    sched,
+		SyncEvery:      *syncEvery,
+		IntraSyncEvery: *intraSync,
+		Seed:           *seed,
 	}
 
 	res, err := core.Train(cfg, ds)
@@ -471,6 +520,11 @@ func main() {
 			*topology,
 			res.TierComm.Intra.Messages, res.TierComm.Intra.Bytes, res.TierComm.Intra.Steps,
 			res.TierComm.Inter.Messages, res.TierComm.Inter.Bytes, res.TierComm.Inter.Steps)
+	}
+	if *syncEvery > 1 {
+		fmt.Printf("localsgd: H=%d Hi=%d local_steps=%d sync_rounds=%d intra_rounds=%d\n",
+			*syncEvery, *intraSync,
+			res.LocalSGD.LocalSteps, res.LocalSGD.SyncRounds, res.LocalSGD.IntraRounds)
 	}
 	if *overlap {
 		fmt.Printf("overlap: hidden_rounds=%d exposed_rounds=%d hidden_bytes=%d exposed_bytes=%d hidden_frac=%.1f%%\n",

@@ -180,6 +180,26 @@ type Config struct {
 	// scaler's activity.
 	LossScale float64
 
+	// SyncEvery, when > 1, switches the run to local SGD
+	// (dist.Config.SyncEvery): every worker steps its own optimizer — the
+	// same recipe as the master, LARS or momentum SGD per Method — on its
+	// own shard gradients for SyncEvery steps, then the fleet averages
+	// weights. Communication volume scales by exactly 1/SyncEvery (see
+	// comm.ExpectedLocalSGDStats) at the cost of inter-sync weight drift;
+	// Result.LocalSGD reports the step/round ledger. 0 or 1 is the
+	// synchronous every-step path, bit-identical to a config without the
+	// field. Local mode is incompatible with MicroBatch (gradient
+	// accumulation assumes a single master optimizer), and F16 runs train
+	// without dynamic loss scaling (the scaler's overflow protocol needs
+	// the master-gradient barrier; LossScale is rejected).
+	SyncEvery int
+	// IntraSyncEvery, when > 0 (requires SyncEvery > 1 and Topology),
+	// additionally averages weights inside each node every IntraSyncEvery
+	// steps on the cheap intra fabric — the hierarchical local-SGD
+	// schedule. Must divide SyncEvery so full boundaries subsume intra
+	// ones. Result.TierComm attributes the extra rounds to the intra tier.
+	IntraSyncEvery int
+
 	// MicroBatch, when positive and smaller than Batch, processes each
 	// global batch in sequential chunks of this size, accumulating
 	// gradients before the optimizer step — gradient accumulation, the
@@ -274,6 +294,10 @@ type Result struct {
 	// backward pass versus exposed at the step barrier. Everything is
 	// exposed unless Config.Overlap was set.
 	Overlap dist.OverlapStats
+	// LocalSGD is the local-SGD step/round ledger (local steps taken, full
+	// weight-averaging rounds, intra-node-only rounds). Zero unless
+	// Config.SyncEvery > 1.
+	LocalSGD dist.LocalSGDStats
 	// Membership reports the elastic-membership activity of the run:
 	// evictions, rebalanced shards and resync bytes, and the number of
 	// steps executed at each world size. Zero evictions unless
@@ -298,6 +322,15 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	if cfg.Model == nil {
 		panic("core: Config.Model is required")
 	}
+	local := cfg.SyncEvery > 1
+	if local {
+		if cfg.MicroBatch > 0 && cfg.MicroBatch < cfg.Batch {
+			panic("core: MicroBatch is incompatible with SyncEvery > 1")
+		}
+		if cfg.LossScale > 0 {
+			panic("core: LossScale is incompatible with SyncEvery > 1 (local mode trains unscaled)")
+		}
+	}
 	start := time.Now()
 
 	replicas := make([]*nn.Network, cfg.Workers)
@@ -311,20 +344,34 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		Algo: cfg.Algo, Topology: cfg.Topology, Shards: cfg.Shards, BucketElems: cfg.Bucket,
 		Overlap: cfg.Overlap, Reduction: cfg.Reduction, Codec: cfg.Codec,
 		Faults: cfg.Faults, Elastic: cfg.Elastic, Profile: cfg.Profile,
+		SyncEvery: cfg.SyncEvery, IntraSyncEvery: cfg.IntraSyncEvery,
 	}, replicas)
 	defer engine.Close()
 
-	params := engine.Master().Params()
+	// newStepper builds one instance of the run's optimizer recipe over the
+	// given parameters: the master's in synchronous mode, one per replica
+	// in local mode (each worker steps privately between weight averages).
+	newStepper := func(params []*nn.Param) opt.Optimizer {
+		switch cfg.Method {
+		case LARSWarmup:
+			return opt.NewLARS(params, opt.LARSConfig{
+				Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay, Trust: cfg.Trust,
+			})
+		default:
+			return opt.NewSGD(params, opt.SGDConfig{
+				Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
+			})
+		}
+	}
 	var optimizer opt.Optimizer
-	switch cfg.Method {
-	case LARSWarmup:
-		optimizer = opt.NewLARS(params, opt.LARSConfig{
-			Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay, Trust: cfg.Trust,
-		})
-	default:
-		optimizer = opt.NewSGD(params, opt.SGDConfig{
-			Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay,
-		})
+	if local {
+		steppers := make([]dist.Stepper, len(replicas))
+		for w := range steppers {
+			steppers[w] = newStepper(replicas[w].Params())
+		}
+		engine.SetLocalSteppers(steppers)
+	} else {
+		optimizer = newStepper(engine.Master().Params())
 	}
 
 	stepsPerEpoch := len(data.Batches(make([]int, ds.Train.Len()), cfg.Batch))
@@ -346,8 +393,11 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	// the engine scales the seed gradient before backward; after reduction
 	// the scaler unscales the float32 master gradients exactly, or skips
 	// the step and halves on overflow.
+	// Local mode trains F16 unscaled: the scaler's overflow protocol
+	// (inspect master gradients, skip the shared step) has no master
+	// gradient to inspect when every worker steps privately.
 	var scaler *opt.LossScaler
-	if cfg.Precision == tensor.F16 || cfg.LossScale > 0 {
+	if !local && (cfg.Precision == tensor.F16 || cfg.LossScale > 0) {
 		scaler = opt.NewLossScaler(cfg.LossScale, 0)
 	}
 
@@ -419,10 +469,30 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 			if aug != nil {
 				aug.Apply(x)
 			}
+			var loss float64
+			if local {
+				// One local-SGD step: shard gradients stay on their
+				// workers, each steps its private optimizer, and the
+				// engine averages weights at window boundaries.
+				loss, err = engine.LocalStep(x, labels, sched.LR(step, totalSteps))
+				if err != nil {
+					return nil, err
+				}
+				if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > cfg.MaxLoss {
+					res.Diverged = true
+					epochLoss += loss
+					epochSteps++
+					break
+				}
+				epochLoss += loss
+				epochSteps++
+				step++
+				continue
+			}
 			if scaler != nil {
 				engine.SetLossScale(scaler.Scale())
 			}
-			loss, err := computeBatchGradient(x, labels)
+			loss, err = computeBatchGradient(x, labels)
 			if err != nil {
 				return nil, err
 			}
@@ -461,7 +531,15 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 		}
 		last := epoch == cfg.Epochs-1 || res.Diverged
 		if last || epoch%cfg.EvalEveryEpochs == 0 {
-			acc, err := engine.EvalAccuracy(ds.Test.Images, ds.Test.Labels, 256)
+			// Local mode pins evaluation to one live replica: between
+			// sync boundaries the replicas legitimately disagree.
+			var acc float64
+			var err error
+			if local {
+				acc, err = engine.EvalAccuracyLocal(ds.Test.Images, ds.Test.Labels, 256)
+			} else {
+				acc, err = engine.EvalAccuracy(ds.Test.Images, ds.Test.Labels, 256)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -478,6 +556,7 @@ func Train(cfg Config, ds *data.Synth) (*Result, error) {
 	res.Comm = engine.Stats()
 	res.TierComm = engine.TierStats()
 	res.Overlap = engine.OverlapStats()
+	res.LocalSGD = engine.LocalSGD()
 	res.Membership = engine.Membership()
 	res.Profile = engine.Profile()
 	if scaler != nil {

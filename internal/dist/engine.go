@@ -85,6 +85,30 @@ type Config struct {
 	// Join map schedules workers to enter the collective mid-run (it too
 	// requires Elastic).
 	Faults *FaultPlan
+	// SyncEvery is the local-SGD synchronization period H: workers run H
+	// local optimizer steps between collectives, then average *weights*
+	// (parameters, not gradients) — Codreanu et al.'s periodic averaging,
+	// cutting comm volume by 1/H. 0 and 1 both mean the standard
+	// every-step path: the engine is bit-identical to one whose config
+	// never mentioned SyncEvery. H > 1 runs are driven through
+	// Engine.LocalStep (after SetLocalSteppers) instead of the
+	// ComputeGradient/optimizer/BroadcastWeights loop; sync boundaries —
+	// every H-th step — are the only points where collectives run and the
+	// only legal membership-change points (joins admit at window starts,
+	// evictions close windows; the fault-plan eviction clock ticks in sync
+	// rounds, since a dead worker is only *observed* at a barrier).
+	SyncEvery int
+	// IntraSyncEvery layers hierarchical periodic averaging onto local
+	// SGD: every IntraSyncEvery steps the members of each Topology node
+	// average their weights over the cheap intra-node fabric, while the
+	// full two-tier average still runs only every SyncEvery steps —
+	// frequent local averaging, rare global averaging. Requires Topology
+	// and SyncEvery > 1, and must divide SyncEvery so the tiers nest.
+	// Intra-only rounds are accounted exclusively on the intra tier of
+	// TierStats. 0 disables the intermediate tier; IntraSyncEvery ==
+	// SyncEvery is allowed and degenerates to plain local SGD (every
+	// intra boundary is already a full boundary).
+	IntraSyncEvery int
 	// Elastic enables elastic membership: a worker whose recovery fails
 	// Elastic.EvictAfter consecutive steps is evicted from the collective,
 	// its shards rebalance over the surviving P−1 workers, the topology
@@ -124,6 +148,7 @@ type Engine struct {
 	// live members in ascending worker order (nil when flat).
 	alive       []bool
 	started     []bool
+	joinDone    []bool // fault-plan Join entries already applied (one admission each)
 	world       int
 	consecDead  []int
 	shards      int
@@ -152,6 +177,16 @@ type Engine struct {
 	grads  [][]float32 // per logical shard: flat gradient
 	losses []float64   // per logical shard: mean loss over the shard
 	evalOK []int       // per worker: correct predictions of the last eval
+
+	// Local-SGD machinery (see Config.SyncEvery). localSteppers holds one
+	// optimizer per replica, stepped by the worker goroutines inside
+	// jobLocal; localBuf is per-worker flat scratch, holding the locally
+	// reduced gradient during the step and the flattened weights at sync
+	// boundaries; localsgd counts local steps and averaging rounds.
+	localSteppers []Stepper
+	localBuf      [][]float32
+	localsgd      LocalSGDStats
+	lastLocal     LocalSGDStats
 
 	reduced        []float32 // scratch: canonically reduced flat gradient
 	steps          int64
@@ -185,6 +220,7 @@ const (
 	jobGrad jobKind = iota
 	jobEval
 	jobSync
+	jobLocal
 )
 
 // job is one lockstep command to a worker.
@@ -194,6 +230,7 @@ type job struct {
 	labels []int
 	spans  [][2]int // row spans, indexed by slot
 	slots  []int    // which spans this worker owns
+	lr     float64  // learning rate of a local optimizer step (jobLocal)
 	train  bool
 }
 
@@ -221,6 +258,23 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 		h.validate()
 		if h.Workers() != len(replicas) {
 			panic(fmt.Sprintf("dist: %v hierarchy needs %d workers, engine has %d replicas", *h, h.Workers(), len(replicas)))
+		}
+	}
+	if cfg.SyncEvery < 0 {
+		panic(fmt.Sprintf("dist: Config.SyncEvery = %d: the synchronization period cannot be negative", cfg.SyncEvery))
+	}
+	if cfg.IntraSyncEvery < 0 {
+		panic(fmt.Sprintf("dist: Config.IntraSyncEvery = %d: the intra-node period cannot be negative", cfg.IntraSyncEvery))
+	}
+	if cfg.IntraSyncEvery > 0 {
+		if cfg.Topology == nil {
+			panic("dist: Config.IntraSyncEvery needs Config.Topology (intra-node averaging needs nodes)")
+		}
+		if cfg.SyncEvery <= 1 {
+			panic("dist: Config.IntraSyncEvery needs Config.SyncEvery > 1 (every step already fully synchronizes)")
+		}
+		if cfg.SyncEvery%cfg.IntraSyncEvery != 0 {
+			panic(fmt.Sprintf("dist: Config.IntraSyncEvery = %d must divide Config.SyncEvery = %d so the averaging tiers nest", cfg.IntraSyncEvery, cfg.SyncEvery))
 		}
 	}
 	if f := cfg.Faults; f != nil {
@@ -260,6 +314,7 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 		evalOK:      make([]int, len(replicas)),
 		alive:       make([]bool, len(replicas)),
 		started:     make([]bool, len(replicas)),
+		joinDone:    make([]bool, len(replicas)),
 		consecDead:  make([]int, len(replicas)),
 		shards:      cfg.Shards,
 		shardsTrack: trackWorld,
@@ -274,8 +329,15 @@ func NewEngine(cfg Config, replicas []*nn.Network) *Engine {
 	// step boundary.
 	for w := range e.alive {
 		e.alive[w] = true
-		if f := cfg.Faults; f != nil && !f.initialMember(w) && f.Join[w] > cfg.StartStep {
-			e.alive[w] = false
+		if f := cfg.Faults; f != nil {
+			if !f.initialMember(w) && f.Join[w] > cfg.StartStep {
+				e.alive[w] = false
+			}
+			if s, ok := f.Join[w]; ok && s <= cfg.StartStep {
+				// A resumed run's past joins are already in effect; they
+				// must not re-fire as admissions.
+				e.joinDone[w] = true
+			}
 		}
 		if e.alive[w] {
 			e.world++
@@ -615,6 +677,39 @@ func (e *Engine) run(w int, net *nn.Network, loss *nn.SoftmaxCrossEntropy, j job
 		if w != 0 {
 			net.CopyWeightsFrom(e.replicas[0])
 		}
+	case jobLocal:
+		// One local SGD step (Config.SyncEvery): the same per-shard
+		// forward/backward as jobGrad, but the gradient stays on the
+		// worker — it is reduced over the worker's own shards only and
+		// fed straight into the worker's local optimizer. No collective
+		// runs until the window's sync boundary averages the weights.
+		for _, slot := range j.slots {
+			lo, hi := j.spans[slot][0], j.spans[slot][1]
+			if lo == hi {
+				continue
+			}
+			x, labels := sliceRows(j.x, j.labels, lo, hi)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			e.losses[slot] = loss.Forward(out, labels)
+			dl := loss.Backward()
+			if s := e.lossScale; s != 0 && s != 1 {
+				for i := range dl.Data {
+					dl.Data[i] *= s
+				}
+			}
+			if e.cfg.Overlap {
+				// The gradient-notify hook still flattens per parameter
+				// as Backward lands them — there is no bucket countdown
+				// to satisfy in local mode, the flattening is all we use.
+				e.curSlot[w] = slot
+				net.Backward(dl)
+			} else {
+				net.Backward(dl)
+				flatten(e.params[w], e.grads[slot])
+			}
+		}
+		e.localReduceStep(w, j)
 	}
 	return nil
 }

@@ -1,0 +1,155 @@
+package dist_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+)
+
+// localSGDScenario is one randomized local-SGD run: a worker count, a
+// synchronization period, optionally a hierarchy with an intra-node
+// period, and a fault plan mixing deaths, returns and fresh joiners.
+type localSGDScenario struct {
+	Workers    int
+	SyncEvery  int
+	IntraEvery int // 0 unless Hier
+	Hier       bool
+	EvictAfter int
+	Steps      int
+	Algo       dist.Algorithm
+	Dead       map[int]int64
+	Join       map[int]int64
+}
+
+// Generate draws a random but always-valid scenario, reusing the
+// membershipScenario rules for the fault plan: deaths land inside the
+// run, returns strictly after their death, fresh joiners from step 1 on.
+// The hierarchy (2x2, only when 4 workers were drawn) optionally enables
+// an intra-node period dividing the full period.
+func (localSGDScenario) Generate(r *rand.Rand, size int) reflect.Value {
+	base := membershipScenario{}.Generate(r, size).Interface().(membershipScenario)
+	sc := localSGDScenario{
+		Workers:    base.Workers,
+		SyncEvery:  1 + r.Intn(4), // 1..4
+		EvictAfter: base.EvictAfter,
+		Steps:      base.Steps,
+		Algo:       base.Algo,
+		Dead:       base.Dead,
+		Join:       base.Join,
+	}
+	if sc.Workers == 4 && r.Intn(2) == 0 {
+		sc.Hier = true
+		if sc.SyncEvery > 1 && r.Intn(2) == 0 {
+			// Any divisor of H nests; pick the smallest nontrivial one.
+			for hi := 1; hi <= sc.SyncEvery; hi++ {
+				if sc.SyncEvery%hi == 0 {
+					sc.IntraEvery = hi
+					break
+				}
+			}
+		}
+	}
+	return reflect.ValueOf(sc)
+}
+
+// TestLocalSGDProperties drives random (H, fault plan) combinations
+// through LocalStep and checks the conservation laws no boundary surgery
+// may break: every call is one local step, sync rounds fire exactly every
+// H-th step (floor conservation: LocalSteps = SyncRounds·H + open-window
+// remainder), intra rounds fill the gaps per the closed form, membership
+// events land on window boundaries only, the world-size histogram sums to
+// the step count, and every shard keeps exactly one in-range owner with
+// the load within one shard of even.
+func TestLocalSGDProperties(t *testing.T) {
+	x, labels, factory := testTask(30)
+	property := func(sc localSGDScenario) bool {
+		cfg := dist.Config{
+			Algo:           sc.Algo,
+			SyncEvery:      sc.SyncEvery,
+			IntraSyncEvery: sc.IntraEvery,
+			Faults:         &dist.FaultPlan{Dead: sc.Dead, Join: sc.Join},
+			Elastic:        &dist.Elastic{EvictAfter: sc.EvictAfter},
+		}
+		if sc.Hier {
+			h := dist.NewHierarchy(2, 2)
+			cfg.Topology = &h
+		}
+		e := localEngine(cfg, sc.Workers, factory)
+		defer e.Close()
+		for step := 0; step < sc.Steps; step++ {
+			if _, err := e.LocalStep(x, labels, 0.05); err != nil {
+				t.Logf("%+v: step %d: %v", sc, step, err)
+				return false
+			}
+			if e.LiveWorkers() < 1 || e.Shards() < 1 {
+				t.Logf("%+v: step %d left world %d shards %d", sc, step, e.LiveWorkers(), e.Shards())
+				return false
+			}
+			owners := e.ShardOwners()
+			counts := map[int]int{}
+			for s, w := range owners {
+				if w < 0 || w >= sc.Workers {
+					t.Logf("%+v: step %d: shard %d owned by out-of-range worker %d", sc, step, s, w)
+					return false
+				}
+				counts[w]++
+			}
+			minC, maxC := sc.Steps*sc.Workers, 0
+			for _, c := range counts {
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if len(counts) > e.LiveWorkers() || maxC-minC > 1 {
+				t.Logf("%+v: step %d: shard assignment %v inconsistent with world %d", sc, step, counts, e.LiveWorkers())
+				return false
+			}
+		}
+
+		// Step/round conservation: the counters account for every call.
+		steps := int64(sc.Steps)
+		lsgd := e.LocalSGD()
+		if lsgd.LocalSteps != steps {
+			t.Logf("%+v: %d local steps counted for %d calls", sc, lsgd.LocalSteps, steps)
+			return false
+		}
+		if want := comm.LocalSGDSyncRounds(steps, sc.SyncEvery); lsgd.SyncRounds != want {
+			t.Logf("%+v: %d sync rounds, want %d", sc, lsgd.SyncRounds, want)
+			return false
+		}
+		if want := comm.LocalSGDIntraRounds(steps, sc.SyncEvery, sc.IntraEvery); lsgd.IntraRounds != want {
+			t.Logf("%+v: %d intra rounds, want %d", sc, lsgd.IntraRounds, want)
+			return false
+		}
+		open := lsgd.LocalSteps - lsgd.SyncRounds*int64(sc.SyncEvery)
+		if open != steps%int64(sc.SyncEvery) {
+			t.Logf("%+v: %d steps ride the open window, want %d", sc, open, steps%int64(sc.SyncEvery))
+			return false
+		}
+
+		// World-size bookkeeping: the histogram covers every step, and
+		// membership only ever changes on window boundaries.
+		m := e.Membership()
+		if m.Steps() != steps {
+			t.Logf("%+v: histogram sums to %d steps, engine ran %d", sc, m.Steps(), sc.Steps)
+			return false
+		}
+		for _, ev := range m.Events {
+			if ev.Step%int64(sc.SyncEvery) != 0 {
+				t.Logf("%+v: event %v landed mid-window (H=%d)", sc, ev, sc.SyncEvery)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

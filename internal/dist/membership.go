@@ -455,7 +455,11 @@ func (e *Engine) evict(w int) {
 // (worker-index order, for determinism), the shard split and topology are
 // rebuilt over the grown fleet, and the master warm-starts it with an
 // accounted weight broadcast at the new world size. No-op unless the plan
-// names this step.
+// names this step — or, at a local-SGD window start, a step the window
+// skipped past: LocalStep checks boundaries only, so a join scheduled
+// mid-window defers to the next boundary (sync boundaries are the only
+// legal membership-change points). In the every-step modes the two
+// conditions coincide, since admission runs each step.
 func (e *Engine) admitJoins() error {
 	f := e.cfg.Faults
 	if f == nil || len(f.Join) == 0 {
@@ -463,7 +467,8 @@ func (e *Engine) admitJoins() error {
 	}
 	var joiners []int
 	for w := 1; w < len(e.replicas); w++ {
-		if s, ok := f.Join[w]; ok && s == e.steps {
+		if s, ok := f.Join[w]; ok && s <= e.steps && !e.joinDone[w] {
+			e.joinDone[w] = true
 			e.admit(w)
 			joiners = append(joiners, w)
 		}

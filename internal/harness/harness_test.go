@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -374,5 +375,46 @@ func TestServeStudyDeterministic(t *testing.T) {
 	}
 	if !rejected {
 		t.Fatal("study has no overload row")
+	}
+}
+
+// TestLocalSGDStudyDeterministic: the local-SGD exhibit rides in the
+// docs-drift-checked analytic subset — two generations must render
+// bit-identically, every closed-form cross-check must be exact, the
+// communication ratio must fall monotonically along the spectrum, and the
+// synchronous baseline's drift column must be exactly zero.
+func TestLocalSGDStudyDeterministic(t *testing.T) {
+	a, err := LocalSGDStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalSGDStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Fatal("LocalSGDStudy does not regenerate bit-identically")
+	}
+	if len(a.Rows) != 6 {
+		t.Fatalf("study has %d rows, want sync + 3 local + hier + async", len(a.Rows))
+	}
+	for _, row := range a.Rows[:5] {
+		if row[3] != "exact" {
+			t.Fatalf("%s: measured counters drifted from the closed form: %s", row[0], row[3])
+		}
+	}
+	if a.Rows[0][7] != "0.0000" {
+		t.Fatalf("the synchronous baseline drifted from itself: %s", a.Rows[0][7])
+	}
+	prev := 2.0
+	for _, row := range a.Rows[:4] { // sync then H=2,4,8: ratio strictly falls
+		var ratio float64
+		if _, err := fmt.Sscanf(row[2], "%f", &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio >= prev {
+			t.Fatalf("%s: comm ratio %v did not fall below %v", row[0], ratio, prev)
+		}
+		prev = ratio
 	}
 }

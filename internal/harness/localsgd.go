@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/async"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// LocalSGDStudy places the engine on the synchronization spectrum the
+// SyncEvery knob opens up: fully synchronous SGD at one end (every step a
+// weight-coherent allreduce), local SGD in the middle (H private optimizer
+// steps between weight averages, communication scaled by exactly 1/H),
+// hierarchical local SGD (cheap intra-node averages between rare full
+// rounds), and Downpour-style asynchronous SGD at the far end (no
+// collective at all, staleness instead of drift). Every row trains the
+// same seeded micro task for the same step budget; the table reports the
+// measured communication volume against the closed form
+// (comm.ExpectedLocalSGDStats / ExpectedLocalSGDTierStats — "exact" means
+// counter-for-counter equality), the volume ratio against the synchronous
+// baseline, the final training loss and test accuracy, and the L2 distance
+// of the final weights from the synchronous run's — the divergence-vs-H
+// tradeoff the communication savings buy. Deterministic end to end (the
+// async simulator runs on a virtual clock), so the docs-drift job
+// regenerates this section bit-identically.
+func LocalSGDStudy() (*Table, error) {
+	const workers, batch, epochs = 4, 64, 2
+	t := &Table{
+		ID:     "LocalSGD study",
+		Title:  fmt.Sprintf("The synchronous <-> local <-> asynchronous spectrum (P=%d, B=%d, %d epochs)", workers, batch, epochs),
+		Header: []string{"mode", "comm bytes", "vs sync", "closed form", "sync rounds", "final loss", "test acc", "||w - w_sync||"},
+	}
+	ds := data.GenerateSynth(data.SynthConfig{
+		Classes: 4, TrainSize: 256, TestSize: 64,
+		C: 3, H: 8, W: 8, Noise: 0.25, MaxShift: 1, Seed: 7,
+	})
+
+	// Capture each run's first-built replica: core.Train's replica 0 is the
+	// master (and at window-closing step counts every replica agrees with
+	// it); async.Train's first factory call builds the parameter server.
+	capturing := func(first **nn.Network) func(uint64) *nn.Network {
+		return func(seed uint64) *nn.Network {
+			net := models.NewMLP(models.MicroConfig{Classes: 4, InC: 3, InH: 8, InW: 8, Width: 4, Seed: seed})
+			if *first == nil {
+				*first = net
+			}
+			return net
+		}
+	}
+	flat := func(net *nn.Network) []float32 {
+		var out []float32
+		for _, p := range net.Params() {
+			out = append(out, p.W.Data...)
+		}
+		return out
+	}
+	l2 := func(a, b []float32) float64 {
+		var sum float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+
+	baseCfg := func(first **nn.Network) core.Config {
+		return core.Config{
+			Model: capturing(first), Workers: workers, Algo: dist.Ring,
+			Batch: batch, Epochs: epochs, Method: core.BaselineSGD,
+			BaseLR: 0.1, Seed: 11,
+		}
+	}
+
+	// Synchronous baseline: the reference weights and communication volume.
+	var syncNet *nn.Network
+	syncRes, err := core.Train(baseCfg(&syncNet), ds)
+	if err != nil {
+		return nil, err
+	}
+	syncW := flat(syncNet)
+	steps := syncRes.Iterations
+	nelems := 0
+	for _, p := range syncNet.Params() {
+		nelems += p.Numel()
+	}
+	// Every run pays one construction broadcast before step 0; the closed
+	// forms price the steps, so add it on their side of the comparison.
+	initFlat := dist.BroadcastSchedule(dist.Ring, workers, 4*int64(nelems))
+	initHier := func(h dist.Hierarchy) dist.TierStats {
+		return dist.HierBroadcastSchedule(h, 4*int64(nelems))
+	}
+
+	addRow := func(label string, res *core.Result, want dist.CommStats, w []float32) {
+		match := "exact"
+		if res.Comm != want {
+			match = fmt.Sprintf("DRIFT: want %+v", want)
+		}
+		rounds := res.LocalSGD.SyncRounds
+		if res.LocalSGD.LocalSteps == 0 {
+			rounds = res.Iterations // synchronous: every step is a round
+		}
+		t.Add(label,
+			fmt.Sprintf("%d", res.Comm.Bytes),
+			fmt.Sprintf("%.3f", float64(res.Comm.Bytes)/float64(syncRes.Comm.Bytes)),
+			match,
+			fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%.4f", res.FinalLoss),
+			fmt.Sprintf("%.3f", res.TestAcc),
+			fmt.Sprintf("%.4f", l2(w, syncW)))
+	}
+
+	syncWant := comm.ExpectedLocalSGDStats(dist.Ring, workers, 1, steps, nelems, 0, nil)
+	syncWant.Add(initFlat)
+	addRow("sync (H=1)", syncRes, syncWant, syncW)
+
+	// Local SGD at increasing synchronization periods.
+	for _, h := range []int{2, 4, 8} {
+		var net *nn.Network
+		cfg := baseCfg(&net)
+		cfg.SyncEvery = h
+		res, err := core.Train(cfg, ds)
+		if err != nil {
+			return nil, err
+		}
+		want := comm.ExpectedLocalSGDStats(dist.Ring, workers, h, steps, nelems, 0, nil)
+		want.Add(initFlat)
+		addRow(fmt.Sprintf("local (H=%d)", h), res, want, flat(net))
+	}
+
+	// Hierarchical local SGD: rare full rounds, cheap intra-node averages
+	// in between; the closed-form check runs per tier.
+	hier := dist.NewHierarchy(2, 2)
+	var hierNet *nn.Network
+	hierCfg := baseCfg(&hierNet)
+	hierCfg.Topology = &hier
+	hierCfg.SyncEvery = 8
+	hierCfg.IntraSyncEvery = 2
+	hierRes, err := core.Train(hierCfg, ds)
+	if err != nil {
+		return nil, err
+	}
+	wantTiers := comm.ExpectedLocalSGDTierStats(hier, 8, 2, steps, nelems, 0, nil)
+	wantTiers.Add(initHier(hier))
+	match := "exact"
+	if hierRes.TierComm != wantTiers {
+		match = fmt.Sprintf("DRIFT: want %+v", wantTiers)
+	}
+	t.Add("hier local (H=8, Hi=2)",
+		fmt.Sprintf("%d", hierRes.Comm.Bytes),
+		fmt.Sprintf("%.3f", float64(hierRes.Comm.Bytes)/float64(syncRes.Comm.Bytes)),
+		match,
+		fmt.Sprintf("%d+%di", hierRes.LocalSGD.SyncRounds, hierRes.LocalSGD.IntraRounds),
+		fmt.Sprintf("%.4f", hierRes.FinalLoss),
+		fmt.Sprintf("%.3f", hierRes.TestAcc),
+		fmt.Sprintf("%.4f", l2(flat(hierNet), syncW)))
+
+	// The far end of the spectrum: Downpour-style async, same number of
+	// server updates as the others took steps, no collective at all. Its
+	// traffic is point-to-point — one gradient push plus one weight pull
+	// per update, priced analytically (the simulator moves no bytes).
+	var asyncNet *nn.Network
+	asyncRes, err := async.Train(async.Config{
+		Model: capturing(&asyncNet), Workers: workers, Batch: batch,
+		Updates: int(steps), BaseLR: 0.1, Momentum: 0.9, Seed: 11,
+	}, ds)
+	if err != nil {
+		return nil, err
+	}
+	asyncBytes := steps * 2 * 4 * int64(nelems)
+	t.Add("async (Downpour)",
+		fmt.Sprintf("%d", asyncBytes),
+		fmt.Sprintf("%.3f", float64(asyncBytes)/float64(syncRes.Comm.Bytes)),
+		"modeled",
+		"0",
+		fmt.Sprintf("%.4f", asyncRes.FinalLoss),
+		fmt.Sprintf("%.3f", asyncRes.TestAcc),
+		fmt.Sprintf("%.4f", l2(flat(asyncNet), syncW)))
+
+	t.Note("comm bytes include the one-time construction broadcast; the closed forms add it before comparing.")
+	t.Note("||w - w_sync|| is the L2 distance of the final weights from the synchronous run's — the drift the 1/H communication savings buy. %d steps, so every H divides the run and the last step closes its window.", steps)
+	t.Note("async staleness: mean %.2f, max %d — the async row trades the drift column for staleness.", asyncRes.MeanStaleness, asyncRes.MaxStaleness)
+	return t, nil
+}

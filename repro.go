@@ -261,6 +261,17 @@ type (
 	// MembershipEvent is one signed membership transition ("+3@12" is
 	// worker 3 joining at step 12) in MembershipStats.Events.
 	MembershipEvent = dist.MembershipEvent
+	// LocalSGDStats accounts an engine driven through Engine.LocalStep
+	// (EngineConfig.SyncEvery = H): local optimizer steps and the full /
+	// intra-node averaging rounds that synchronized them. The counters
+	// conserve steps exactly: SyncRounds = floor(LocalSteps/H).
+	LocalSGDStats = dist.LocalSGDStats
+	// Stepper is the per-replica local optimizer Engine.SetLocalSteppers
+	// installs for the local-SGD path (opt.SGD and opt.LARS satisfy it).
+	Stepper = dist.Stepper
+	// WireSizer prices a payload's on-wire bytes under a codec for the
+	// local-SGD closed forms (RawWire, FP16Wire; nil means raw float32).
+	WireSizer = comm.WireSizer
 	// WorkerDeadError is the typed error a permanently dead worker
 	// surfaces when elastic membership is disabled.
 	WorkerDeadError = dist.WorkerDeadError
@@ -394,6 +405,49 @@ type ProgressiveEstimate = cluster.ProgressiveEstimate
 func SimulateProgressive(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, sched *ResolutionSchedule) ProgressiveEstimate {
 	return cluster.SimulateProgressive(c, spec, batch, epochs, datasetSize, sched)
 }
+
+// LocalSGDEstimate prices a run that trades communication for computation:
+// workers step locally and average weights every H steps (TrainConfig.
+// SyncEvery), amortizing the sync cost by 1/H.
+type LocalSGDEstimate = cluster.LocalSGDEstimate
+
+// SimulateLocalSGD prices one local-SGD run: syncEvery local steps between
+// full weight averages, optionally an intra-node average every
+// intraSyncEvery steps on hierarchical clusters. syncEvery = 1 reproduces
+// the non-overlapped every-step Simulate exactly.
+func SimulateLocalSGD(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize, syncEvery, intraSyncEvery int) LocalSGDEstimate {
+	return cluster.SimulateLocalSGD(c, spec, batch, epochs, datasetSize, syncEvery, intraSyncEvery)
+}
+
+// LocalSGDCurve sweeps the synchronization period: one estimate per H in
+// hs — the throughput-vs-H curve `simulate -sync-sweep` prints.
+func LocalSGDCurve(c ClusterConfig, spec *ModelSpec, batch, epochs, datasetSize int, hs []int) []LocalSGDEstimate {
+	return cluster.LocalSGDCurve(c, spec, batch, epochs, datasetSize, hs)
+}
+
+// ExpectedLocalSGDStats returns the closed-form communication counters of
+// a flat local-SGD run — floor(steps/syncEvery) rounds, each one reduce of
+// the wire payload plus one broadcast of the raw weights per bucket — which
+// match an engine driven through Engine.LocalStep counter-for-counter.
+// RawWire and FP16Wire are the stock wire sizers (nil = raw float32).
+func ExpectedLocalSGDStats(algo Algorithm, p, syncEvery int, steps int64, nelems, bucketElems int, wire WireSizer) CommStats {
+	return comm.ExpectedLocalSGDStats(algo, p, syncEvery, steps, nelems, bucketElems, wire)
+}
+
+// ExpectedLocalSGDTierStats is the hierarchical twin: full two-tier rounds
+// every syncEvery steps plus intra-node-only rounds every intraSyncEvery
+// steps in between, split by fabric tier.
+func ExpectedLocalSGDTierStats(h Hierarchy, syncEvery, intraSyncEvery int, steps int64, nelems, bucketElems int, wire WireSizer) TierStats {
+	return comm.ExpectedLocalSGDTierStats(h, syncEvery, intraSyncEvery, steps, nelems, bucketElems, wire)
+}
+
+// Stock wire sizers for the local-SGD closed forms.
+var (
+	// RawWire prices payloads as raw float32: 4 bytes/coordinate.
+	RawWire = comm.RawWire
+	// FP16Wire prices payloads through FP16Codec: 2 bytes/coordinate.
+	FP16Wire = comm.FP16Wire
+)
 
 // DGX1 returns one 8xP100 DGX-1 station.
 func DGX1() ClusterConfig { return cluster.DGX1() }
